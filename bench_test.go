@@ -1,0 +1,222 @@
+package fast
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation (DESIGN.md carries the experiment index), plus
+// ablation benches for the design choices the simulator exposes.
+//
+// Run everything:        go test -bench=. -benchmem
+// Regenerate one table:  go test -bench=Table5 -v
+// Full-budget runs:      use cmd/fast-experiments (flags -trials, -seed).
+//
+// Search-based benches use compressed trial budgets so the whole suite
+// completes in minutes; each b.N iteration regenerates the complete
+// table, and the table is printed once under -v via b.Log.
+
+import (
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/experiments"
+	"fast/internal/fusion"
+	"fast/internal/mapping"
+	"fast/internal/models"
+	"fast/internal/sim"
+)
+
+// benchOpts compresses the expensive experiments for the bench harness.
+var benchOpts = experiments.Options{
+	SearchTrials:      24,
+	ConvergenceTrials: 30,
+	Repeats:           1,
+	Seed:              1,
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	gen, ok := experiments.Registry(benchOpts)[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = gen()
+	}
+	if len(tab.Rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	b.Log("\n" + tab.String())
+}
+
+func BenchmarkTable1WorkingSets(b *testing.B)      { runExperiment(b, "table1") }
+func BenchmarkTable2OpBreakdown(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFig2StepTimeVsAccuracy(b *testing.B) { runExperiment(b, "fig2") }
+func BenchmarkFig3OpIntensity(b *testing.B)        { runExperiment(b, "fig3") }
+func BenchmarkFig4PerLayerUtil(b *testing.B)       { runExperiment(b, "fig4") }
+func BenchmarkFig5BERTBreakdown(b *testing.B)      { runExperiment(b, "fig5") }
+func BenchmarkFig6ROICurves(b *testing.B)          { runExperiment(b, "fig6") }
+func BenchmarkFig9Speedup(b *testing.B)            { runExperiment(b, "fig9") }
+func BenchmarkFig10PerfPerTDP(b *testing.B)        { runExperiment(b, "fig10") }
+func BenchmarkFig11Convergence(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkFig12Pareto(b *testing.B)            { runExperiment(b, "fig12") }
+func BenchmarkFig13FusionSweep(b *testing.B)       { runExperiment(b, "fig13") }
+func BenchmarkFig14PerLayerFAST(b *testing.B)      { runExperiment(b, "fig14") }
+func BenchmarkFig15Breakdown(b *testing.B)         { runExperiment(b, "fig15") }
+func BenchmarkTable4ROIVolumes(b *testing.B)       { runExperiment(b, "table4") }
+func BenchmarkTable5Designs(b *testing.B)          { runExperiment(b, "table5") }
+func BenchmarkTable6Ablation(b *testing.B)         { runExperiment(b, "table6") }
+
+// --- Ablation benches for DESIGN.md's called-out design choices ---
+
+// benchSimulate times one full simulation of a workload on a design.
+func benchSimulate(b *testing.B, workload string, cfg *arch.Config, opts sim.Options) float64 {
+	b.Helper()
+	g := models.MustBuild(workload, cfg.NativeBatch)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Simulate(g, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ScheduleFailed {
+			b.Fatalf("schedule failure: %s", r.FailReason)
+		}
+		last = r.QPS
+	}
+	return last
+}
+
+// BenchmarkAblationTwoPassSoftmax compares the §5.6 softmax variants on
+// unfused BERT-1024 (TPU-v3).
+func BenchmarkAblationTwoPassSoftmax(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		twoPass bool
+	}{{"three-pass", false}, {"two-pass", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			opts := sim.Options{TwoPassSoftmax: variant.twoPass,
+				Fusion: fusion.Options{Disable: true}}
+			qps := benchSimulate(b, "bert-1024", arch.TPUv3(), opts)
+			b.ReportMetric(qps, "qps")
+		})
+	}
+}
+
+// BenchmarkAblationPaddingPass quantifies the §6.1 padding pre-pass:
+// with it, every workload schedules; without it (raw Timeloop), problem
+// dims that do not factorize into the array become schedule failures —
+// the metric reports how many suite workloads still map.
+func BenchmarkAblationPaddingPass(b *testing.B) {
+	suite := models.FullSuite()
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"with-padding", false}, {"without-padding", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			opts := sim.FASTOptions()
+			opts.Mapping = mapping.Options{DisablePadding: variant.disable}
+			cfg := arch.FASTLarge()
+			schedulable := 0
+			for i := 0; i < b.N; i++ {
+				schedulable = 0
+				for _, w := range suite {
+					g := models.MustBuild(w, cfg.NativeBatch)
+					r, err := sim.Simulate(g, cfg, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !r.ScheduleFailed {
+						schedulable++
+					}
+				}
+			}
+			if !variant.disable && schedulable != len(suite) {
+				b.Fatalf("padding enabled but only %d/%d workloads scheduled", schedulable, len(suite))
+			}
+			b.ReportMetric(float64(schedulable), "schedulable-workloads")
+		})
+	}
+}
+
+// BenchmarkAblationFusionSolver compares the greedy incumbent against the
+// ILP-backed fusion solve on EfficientNet-B7/FAST-Large.
+func BenchmarkAblationFusionSolver(b *testing.B) {
+	for _, variant := range []struct {
+		name   string
+		greedy bool
+	}{{"greedy", true}, {"ilp", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			opts := sim.FASTOptions()
+			opts.Fusion.GreedyOnly = variant.greedy
+			qps := benchSimulate(b, "efficientnet-b7", arch.FASTLarge(), opts)
+			b.ReportMetric(qps, "qps")
+		})
+	}
+}
+
+// BenchmarkAblationFusionWindow sweeps the residency window, where W=1 is
+// the paper's strict order-adjacency constraint.
+func BenchmarkAblationFusionWindow(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "window-1-paper", 2: "window-2", 4: "window-4", 8: "window-8"}[w],
+			func(b *testing.B) {
+				opts := sim.FASTOptions()
+				opts.Fusion.Window = w
+				qps := benchSimulate(b, "efficientnet-b7", arch.FASTLarge(), opts)
+				b.ReportMetric(qps, "qps")
+			})
+	}
+}
+
+// BenchmarkAblationMappingSchemes restricts the mapper to the production
+// scheme set to isolate the 1-D systolic depthwise mapping's value.
+func BenchmarkAblationMappingSchemes(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		schemes []mapping.Scheme
+	}{
+		{"all-schemes", nil},
+		{"ws-os-only", []mapping.Scheme{mapping.WeightStationary, mapping.OutputStationary}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			opts := sim.FASTOptions()
+			opts.Mapping = mapping.Options{Schemes: variant.schemes}
+			qps := benchSimulate(b, "efficientnet-b7", arch.FASTLarge(), opts)
+			b.ReportMetric(qps, "qps")
+		})
+	}
+}
+
+// BenchmarkAblationL2Enable measures the TDP-vs-blocking trade of
+// enabling the optional L2 (§6.2.5: L2 raises power-virus TDP).
+func BenchmarkAblationL2Enable(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		l2   arch.BufferConfig
+	}{{"l2-disabled", arch.Disabled}, {"l2-shared", arch.Shared}} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := arch.FASTLarge().Clone("l2-ablation")
+			cfg.L2Config = variant.l2
+			cfg.L2InputMult, cfg.L2WeightMult, cfg.L2OutputMult = 4, 4, 4
+			g := models.MustBuild("efficientnet-b7", cfg.NativeBatch)
+			var perfPerTDP float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Simulate(g, cfg, sim.FASTOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				perfPerTDP = r.PerfPerTDP
+			}
+			b.ReportMetric(perfPerTDP, "qps/W")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput times raw simulator invocations per
+// workload (the quantity that bounds search throughput).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, w := range []string{"efficientnet-b0", "efficientnet-b7", "resnet50", "bert-1024", "ocr-rpn", "ocr-recognizer"} {
+		b.Run(w, func(b *testing.B) {
+			benchSimulate(b, w, arch.FASTLarge(), sim.FASTOptions())
+		})
+	}
+}

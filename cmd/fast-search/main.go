@@ -1,0 +1,97 @@
+// Command fast-search runs a FAST study: it searches the datapath ×
+// schedule × fusion space for a design optimized for one or more
+// workloads (Figure 1's outer loop) and prints the winning configuration
+// with its per-workload evaluation.
+//
+// Usage:
+//
+//	fast-search -workloads efficientnet-b7 -trials 500
+//	fast-search -workloads efficientnet-b7,resnet50,bert-1024 -objective perf
+//	fast-search -multi -algorithm bayesian -trials 1000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fast"
+	"fast/internal/search"
+)
+
+func main() {
+	var (
+		workloads = flag.String("workloads", "efficientnet-b0", "comma-separated workload names")
+		multi     = flag.Bool("multi", false, "use the paper's 5-workload multi-workload suite")
+		objective = flag.String("objective", "perf-per-tdp", "objective: perf-per-tdp or perf")
+		algorithm = flag.String("algorithm", "lcs", "optimizer: random, lcs, bayesian")
+		trials    = flag.Int("trials", 300, "trial budget (paper: 5000)")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		latency   = flag.Float64("latency-ms", 0, "optional per-batch latency bound in ms (e.g. 15 for MLPerf)")
+		save      = flag.String("save", "", "write the best design to this JSON file")
+	)
+	flag.Parse()
+
+	ws := strings.Split(*workloads, ",")
+	if *multi {
+		ws = fast.MultiWorkloadSuite()
+	}
+	obj := fast.ObjectivePerfPerTDP
+	if *objective == "perf" {
+		obj = fast.ObjectivePerf
+	}
+
+	st := &fast.Study{
+		Workloads:       ws,
+		Objective:       obj,
+		Algorithm:       search.Algorithm(*algorithm),
+		Trials:          *trials,
+		Seed:            *seed,
+		LatencyBoundSec: *latency / 1e3,
+	}
+	fmt.Printf("searching %d trials (%s, %s) over %s\n", *trials, *algorithm, *objective, strings.Join(ws, ", "))
+	t0 := time.Now()
+	res, err := st.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fast-search:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %.1fs; %d/%d trials feasible\n\n",
+		time.Since(t0).Seconds(),
+		int(res.Search.FeasibleRate()*float64(len(res.Search.History))),
+		len(res.Search.History))
+	if res.Best == nil {
+		fmt.Println("no feasible design found — raise -trials")
+		os.Exit(1)
+	}
+
+	fmt.Printf("best design (objective %.4g):\n  %s\n\n", res.BestValue, res.Best)
+	if *save != "" {
+		if err := res.Best.SaveFile(*save); err != nil {
+			fmt.Fprintln(os.Stderr, "fast-search:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved to %s (run it back with: fast-sim -design-file %s)\n\n", *save, *save)
+	}
+	fmt.Printf("%-18s %10s %10s %8s %10s %9s\n", "workload", "QPS", "latency", "util", "Perf/TDP", "vs TPU-v3")
+	for _, wr := range res.PerWorkload {
+		// Baseline comparison.
+		tpu := fast.DieShrunkTPUv3()
+		bg, err := fast.BuildModel(wr.Name, tpu.NativeBatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fast-search:", err)
+			os.Exit(1)
+		}
+		base, err := fast.Simulate(bg, tpu, fast.BaselineOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fast-search:", err)
+			os.Exit(1)
+		}
+		r := wr.Result
+		fmt.Printf("%-18s %10.1f %8.2fms %8.3f %10.4f %8.2fx\n",
+			wr.Name, r.QPS, r.LatencySec*1e3, r.Utilization, r.PerfPerTDP,
+			r.PerfPerTDP/base.PerfPerTDP)
+	}
+}

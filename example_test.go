@@ -1,0 +1,72 @@
+package fast_test
+
+import (
+	"fmt"
+	"log"
+
+	"fast"
+)
+
+// ExampleSimulate compares the TPU-v3 baseline against the paper's
+// FAST-Large design on EfficientNet-B0.
+func ExampleSimulate() {
+	tpu := fast.TPUv3()
+	g, err := fast.BuildModel("efficientnet-b0", tpu.NativeBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := fast.Simulate(g, tpu, fast.BaselineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fl := fast.FASTLarge()
+	g2, err := fast.BuildModel("efficientnet-b0", fl.NativeBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := fast.Simulate(g2, fl, fast.FASTOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FAST-Large beats TPU-v3 on Perf/TDP:", optimized.PerfPerTDP > baseline.PerfPerTDP)
+	fmt.Println("fusion removed most of the memory stall:", optimized.MemStallPost < optimized.MemStallPre/2)
+	// Output:
+	// FAST-Large beats TPU-v3 on Perf/TDP: true
+	// fusion removed most of the memory stall: true
+}
+
+// ExampleStudy runs a tiny FAST search and checks the winning design
+// fits the default power/area budget.
+func ExampleStudy() {
+	res, err := (&fast.Study{
+		Workloads: []string{"mobilenetv2"},
+		Objective: fast.ObjectivePerfPerTDP,
+		Algorithm: fast.AlgorithmLCS,
+		Trials:    40,
+		Seed:      9,
+	}).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := fast.DefaultBudget()
+	pm := fast.DefaultPowerModel()
+	fmt.Println("found a design:", res.Best != nil)
+	fmt.Println("within budget:", budget.Within(pm, res.Best))
+	// Output:
+	// found a design: true
+	// within budget: true
+}
+
+// ExampleROIParams reproduces the paper's §5.1 break-even analysis for
+// the FAST-Large speedup.
+func ExampleROIParams() {
+	p := fast.DefaultROI()
+	breakEven := p.BreakEvenVolume(3.9)
+	fmt.Println("break-even volume in the low thousands:", breakEven > 1000 && breakEven < 4000)
+	fmt.Printf("ROI at 8000 units: %.1f\n", p.ROI(3.9, 8000))
+	// Output:
+	// break-even volume in the low thousands: true
+	// ROI at 8000 units: 3.7
+}

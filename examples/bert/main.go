@@ -1,0 +1,91 @@
+// BERT sequence-length study: reproduce the §4.3 analysis — sweep the
+// sequence length, watch softmax and self-attention take over the
+// runtime, then evaluate the two-pass softmax trade-off (§5.6) and search
+// for a BERT-optimized design.
+//
+//	go run ./examples/bert [-trials 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fast"
+	"fast/internal/sim"
+)
+
+func main() {
+	trials := flag.Int("trials", 150, "search trial budget")
+	flag.Parse()
+
+	// 1. Sequence-length sweep on the TPU-v3 baseline.
+	tpu := fast.TPUv3().Clone("tpu-bert")
+	tpu.NativeBatch = 8
+	fmt.Println("BERT-Base on TPU-v3: runtime share by op class vs sequence length")
+	fmt.Printf("  %-8s %8s %8s %8s %8s %8s\n", "seq", "QKV", "FFN", "attn", "softmax", "util")
+	for _, seq := range []int64{128, 512, 1024, 2048} {
+		g, err := fast.BuildModel(fmt.Sprintf("bert-%d", seq), tpu.NativeBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := fast.Simulate(g, tpu, fast.BaselineOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		share := map[string]float64{}
+		for _, row := range r.ByClass(sim.ClassifyBERT) {
+			share[row.Class] = row.RuntimeShare * 100
+		}
+		fmt.Printf("  %-8d %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.3f\n", seq,
+			share["QKV projection"], share["Feed-forward"],
+			share["Self-attention"], share["Softmax"], r.Utilization)
+	}
+
+	// 2. Two-pass softmax trade-off on a bandwidth-starved design.
+	fmt.Println("\ntwo-pass softmax (§5.6) on a bandwidth-starved wide-VPU design:")
+	starved := fast.FASTLarge().Clone("starved")
+	starved.MemChannels = 1
+	starved.VectorMult = 8
+	starved.GlobalMiB = 1
+	g, err := fast.BuildModel("bert-1024", starved.NativeBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, twoPass := range []bool{false, true} {
+		opts := fast.FASTOptions()
+		opts.AutoSoftmax = false
+		opts.TwoPassSoftmax = twoPass
+		r, err := fast.Simulate(g, starved, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s latency %.2f ms\n", r.SoftmaxAlgorithm, r.LatencySec*1e3)
+	}
+
+	// 3. Search a BERT-1024-optimized design.
+	fmt.Printf("\nsearching %d designs for BERT-1024 (Perf/TDP)...\n", *trials)
+	res, err := (&fast.Study{
+		Workloads: []string{"bert-1024"},
+		Objective: fast.ObjectivePerfPerTDP,
+		Algorithm: fast.AlgorithmLCS,
+		Trials:    *trials,
+		Seed:      7,
+	}).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Best == nil {
+		log.Fatal("no feasible design; raise -trials")
+	}
+	base, err := fast.EvaluateDesign(fast.DieShrunkTPUv3(), []string{"bert-1024"}, fast.BaselineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.PerWorkload[0].Result
+	fmt.Printf("best design: %s\n", res.Best)
+	fmt.Printf("Perf/TDP vs TPU-v3: %.2fx (paper reports 2.7x for BERT)\n",
+		best.PerfPerTDP/base[0].Result.PerfPerTDP)
+	fmt.Printf("systolic array %dx%d — head-dim-64 friendly (§4.3); batch %d; GM %d MiB\n",
+		res.Best.SAy, res.Best.SAx, res.Best.NativeBatch, res.Best.GlobalMiB)
+}

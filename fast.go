@@ -1,0 +1,156 @@
+// Package fast is the public API of the FAST reproduction: a full-stack
+// accelerator search technique for domain-optimized deep learning
+// inference accelerators (Zhang et al., ASPLOS 2022).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - workload graphs (BuildModel) and reference designs (TPUv3,
+//     FASTLarge, FASTSmall),
+//   - the architectural simulator (Simulate with Baseline/FAST software
+//     stacks),
+//   - the search framework (Study.Run) covering datapath, schedule, and
+//     fusion co-optimization,
+//   - the power/area and ROI models.
+//
+// See examples/ for runnable walkthroughs and cmd/fast-experiments for
+// the paper's tables and figures.
+package fast
+
+import (
+	"io"
+
+	"fast/internal/arch"
+	"fast/internal/core"
+	"fast/internal/hlo"
+	"fast/internal/models"
+	"fast/internal/power"
+	"fast/internal/roi"
+	"fast/internal/search"
+	"fast/internal/sim"
+)
+
+// Graph is an HLO-like workload graph.
+type Graph = hlo.Graph
+
+// Design is an accelerator datapath configuration (paper Table 3).
+type Design = arch.Config
+
+// SimOptions configures the simulator software stack.
+type SimOptions = sim.Options
+
+// SimResult is a full simulation outcome.
+type SimResult = sim.Result
+
+// Study is a FAST search experiment; StudyResult its outcome.
+type Study = core.Study
+
+// StudyResult is a completed search.
+type StudyResult = core.StudyResult
+
+// WorkloadResult pairs a workload name with its simulation.
+type WorkloadResult = core.WorkloadResult
+
+// PowerModel is the analytical area/TDP model.
+type PowerModel = power.Model
+
+// Budget is the search constraint envelope.
+type Budget = power.Budget
+
+// ROIParams is the return-on-investment model of §5.1.
+type ROIParams = roi.Params
+
+// Objective kinds for Study.
+const (
+	// ObjectivePerfPerTDP maximizes QPS per watt.
+	ObjectivePerfPerTDP = core.PerfPerTDP
+	// ObjectivePerf maximizes raw QPS within the budget.
+	ObjectivePerf = core.Perf
+)
+
+// Search algorithms for Study (Figure 11 families).
+const (
+	AlgorithmRandom   = search.AlgRandom
+	AlgorithmLCS      = search.AlgLCS
+	AlgorithmBayesian = search.AlgBayes
+)
+
+// BuildModel constructs a workload graph by canonical name (e.g.
+// "efficientnet-b7", "bert-1024", "resnet50", "ocr-rpn",
+// "ocr-recognizer") at the given batch size.
+func BuildModel(name string, batch int64) (*Graph, error) { return models.Build(name, batch) }
+
+// ModelNames lists every canonical workload name.
+func ModelNames() []string { return models.Names() }
+
+// FullSuite returns the paper's complete benchmark list.
+func FullSuite() []string { return models.FullSuite() }
+
+// MultiWorkloadSuite returns the 5-workload multi-workload set.
+func MultiWorkloadSuite() []string { return models.MultiWorkloadSuite() }
+
+// TPUv3 returns the modeled TPU-v3 baseline design.
+func TPUv3() *Design { return arch.TPUv3() }
+
+// DieShrunkTPUv3 returns the TPU-v3 datapath on the sub-10nm process (the
+// paper's Perf/TDP baseline).
+func DieShrunkTPUv3() *Design { return arch.DieShrunkTPUv3() }
+
+// FASTLarge returns the Table 5 FAST-Large design.
+func FASTLarge() *Design { return arch.FASTLarge() }
+
+// FASTSmall returns the Table 5 FAST-Small design.
+func FASTSmall() *Design { return arch.FASTSmall() }
+
+// DesignByName resolves a named reference design (nil if unknown).
+func DesignByName(name string) *Design { return arch.ByName(name) }
+
+// LoadDesign reads and validates a design from a JSON file (the format
+// fast-search -save writes).
+func LoadDesign(path string) (*Design, error) { return arch.LoadFile(path) }
+
+// BaselineOptions models the production TPU-v3 software stack (XLA
+// fusion regions, classic schedules, no FAST fusion).
+func BaselineOptions() SimOptions { return sim.BaselineOptions() }
+
+// FASTOptions is the full FAST software stack (all mapping schemes, FAST
+// fusion, automatic softmax selection).
+func FASTOptions() SimOptions { return sim.FASTOptions() }
+
+// Simulate runs the architectural simulator for a workload graph on a
+// design.
+func Simulate(g *Graph, d *Design, opts SimOptions) (*SimResult, error) {
+	return sim.Simulate(g, d, opts)
+}
+
+// EvaluateDesign simulates a fixed design across several workloads.
+func EvaluateDesign(d *Design, workloads []string, opts SimOptions) ([]WorkloadResult, error) {
+	return core.EvaluateDesign(d, workloads, opts)
+}
+
+// DefaultPowerModel returns the calibrated sub-10nm power/area model.
+func DefaultPowerModel() *PowerModel { return power.Default() }
+
+// DefaultBudget returns the search constraint envelope anchored to the
+// die-shrunk TPU-v3 (Table 5 normalization).
+func DefaultBudget() Budget { return power.DefaultBudget(power.Default()) }
+
+// DefaultROI returns the §5.1 ROI constants.
+func DefaultROI() ROIParams { return roi.Default() }
+
+// EnergyCoeffs are the per-event dynamic-energy constants of the energy
+// model (Joules-per-inference reporting, beyond the paper's TDP metric).
+type EnergyCoeffs = power.EnergyCoeffs
+
+// DefaultEnergyCoeffs returns the calibrated sub-10nm energy constants.
+func DefaultEnergyCoeffs() EnergyCoeffs { return power.DefaultEnergy() }
+
+// WriteGraphDOT renders a workload graph in Graphviz DOT format,
+// clustered by XLA fusion region (pipe into `dot -Tsvg`).
+func WriteGraphDOT(w io.Writer, g *Graph) error {
+	return hlo.WriteDOT(w, g, hlo.PartitionXLA(g))
+}
+
+// GeoMean folds per-workload results with the geometric mean of f.
+func GeoMean(results []WorkloadResult, f func(*SimResult) float64) float64 {
+	return core.GeoMean(results, f)
+}

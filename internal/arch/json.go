@@ -1,0 +1,141 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// configJSON is the stable on-disk schema for a Config. Field names
+// follow the paper's Table 3 spelling so dumped designs read like the
+// paper's hyperparameter listings.
+type configJSON struct {
+	Name                     string  `json:"name"`
+	PEsXDim                  int64   `json:"pes_x_dim"`
+	PEsYDim                  int64   `json:"pes_y_dim"`
+	SystolicArrayX           int64   `json:"systolic_array_x"`
+	SystolicArrayY           int64   `json:"systolic_array_y"`
+	VectorUnitMultiplier     int64   `json:"vector_unit_multiplier"`
+	L1BufferConfig           string  `json:"l1_buffer_config"`
+	L1InputBufferKiB         int64   `json:"l1_input_buffer_size_kib"`
+	L1WeightBufferKiB        int64   `json:"l1_weight_buffer_size_kib"`
+	L1OutputBufferKiB        int64   `json:"l1_output_buffer_size_kib"`
+	L2BufferConfig           string  `json:"l2_buffer_config"`
+	L2InputBufferMultiplier  int64   `json:"l2_input_buffer_multiplier"`
+	L2WeightBufferMultiplier int64   `json:"l2_weight_buffer_multiplier"`
+	L2OutputBufferMultiplier int64   `json:"l2_output_buffer_multiplier"`
+	L3GlobalBufferMiB        int64   `json:"l3_global_buffer_size_mib"`
+	MemChannels              int64   `json:"memory_channels"`
+	MemTech                  string  `json:"memory_technology"`
+	NativeBatchSize          int64   `json:"native_batch_size"`
+	Cores                    int64   `json:"cores"`
+	ClockGHz                 float64 `json:"clock_ghz"`
+}
+
+func bufferConfigName(b BufferConfig) string { return b.String() }
+
+func parseBufferConfig(s string) (BufferConfig, error) {
+	switch s {
+	case "disabled":
+		return Disabled, nil
+	case "private":
+		return Private, nil
+	case "shared":
+		return Shared, nil
+	}
+	return 0, fmt.Errorf("arch: unknown buffer config %q", s)
+}
+
+func parseMemTech(s string) (MemTech, error) {
+	switch s {
+	case "gddr6":
+		return GDDR6, nil
+	case "hbm2":
+		return HBM2, nil
+	}
+	return 0, fmt.Errorf("arch: unknown memory technology %q", s)
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *Config) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(configJSON{
+		Name:    c.Name,
+		PEsXDim: c.PEsX, PEsYDim: c.PEsY,
+		SystolicArrayX: c.SAx, SystolicArrayY: c.SAy,
+		VectorUnitMultiplier:     c.VectorMult,
+		L1BufferConfig:           bufferConfigName(c.L1Config),
+		L1InputBufferKiB:         c.L1InputKiB,
+		L1WeightBufferKiB:        c.L1WeightKiB,
+		L1OutputBufferKiB:        c.L1OutputKiB,
+		L2BufferConfig:           bufferConfigName(c.L2Config),
+		L2InputBufferMultiplier:  c.L2InputMult,
+		L2WeightBufferMultiplier: c.L2WeightMult,
+		L2OutputBufferMultiplier: c.L2OutputMult,
+		L3GlobalBufferMiB:        c.GlobalMiB,
+		MemChannels:              c.MemChannels,
+		MemTech:                  c.Mem.String(),
+		NativeBatchSize:          c.NativeBatch,
+		Cores:                    c.Cores,
+		ClockGHz:                 c.ClockGHz,
+	}, "", "  ")
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the decoded config is
+// validated.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var j configJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	l1, err := parseBufferConfig(j.L1BufferConfig)
+	if err != nil {
+		return err
+	}
+	l2, err := parseBufferConfig(j.L2BufferConfig)
+	if err != nil {
+		return err
+	}
+	mem, err := parseMemTech(j.MemTech)
+	if err != nil {
+		return err
+	}
+	*c = Config{
+		Name: j.Name,
+		PEsX: j.PEsXDim, PEsY: j.PEsYDim,
+		SAx: j.SystolicArrayX, SAy: j.SystolicArrayY,
+		VectorMult: j.VectorUnitMultiplier,
+		L1Config:   l1,
+		L1InputKiB: j.L1InputBufferKiB, L1WeightKiB: j.L1WeightBufferKiB, L1OutputKiB: j.L1OutputBufferKiB,
+		L2Config:    l2,
+		L2InputMult: j.L2InputBufferMultiplier, L2WeightMult: j.L2WeightBufferMultiplier, L2OutputMult: j.L2OutputBufferMultiplier,
+		GlobalMiB:   j.L3GlobalBufferMiB,
+		MemChannels: j.MemChannels,
+		Mem:         mem,
+		NativeBatch: j.NativeBatchSize,
+		Cores:       j.Cores,
+		ClockGHz:    j.ClockGHz,
+	}
+	return c.Validate()
+}
+
+// SaveFile writes the design to path as JSON.
+func (c *Config) SaveFile(path string) error {
+	data, err := c.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadFile reads and validates a design from a JSON file.
+func LoadFile(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := new(Config)
+	if err := c.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("arch: %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,266 @@
+// Package core is the FAST framework itself (§5, Figure 1): it wires the
+// datapath search space, the architectural simulator (schedule mapping +
+// FAST fusion + power/area models), the constraint set (Eq. 3-5), and a
+// black-box optimizer into a Study that designs an accelerator for one or
+// several workloads.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fast/internal/arch"
+	"fast/internal/hlo"
+	"fast/internal/models"
+	"fast/internal/power"
+	"fast/internal/search"
+	"fast/internal/sim"
+)
+
+// ObjectiveKind selects the optimization target f(h,w) (Eq. 3).
+type ObjectiveKind int
+
+const (
+	// PerfPerTDP maximizes QPS per watt (the paper's headline metric).
+	PerfPerTDP ObjectiveKind = iota
+	// Perf maximizes raw QPS subject to the budget (the Figure 9 "pure
+	// performance" objective).
+	Perf
+)
+
+// String implements fmt.Stringer.
+func (o ObjectiveKind) String() string {
+	if o == Perf {
+		return "perf"
+	}
+	return "perf-per-tdp"
+}
+
+// Study describes one FAST search experiment.
+type Study struct {
+	// Workloads are canonical model names (see models.Build). Multiple
+	// names optimize the geometric mean across them (§6.2.1).
+	Workloads []string
+	// Objective is the optimization target.
+	Objective ObjectiveKind
+	// Algorithm selects the optimizer (random / lcs / bayesian).
+	Algorithm search.Algorithm
+	// Trials bounds the evaluation count (the paper runs 5000; these
+	// simulations are ~10^4× faster than the paper's, so a few hundred
+	// reach comparable convergence).
+	Trials int
+	// Seed makes the study deterministic.
+	Seed int64
+	// Base supplies the fixed platform attributes (cores, clock, memory
+	// technology) inherited by every candidate. Nil uses DefaultPlatform.
+	Base *arch.Config
+	// Budget is the area/TDP constraint envelope (Eq. 4). Zero value uses
+	// power.DefaultBudget.
+	Budget power.Budget
+	// PowerModel overrides the analytical power model.
+	PowerModel *power.Model
+	// SimOptions configures the simulator; zero value uses
+	// sim.FASTOptions().
+	SimOptions *sim.Options
+	// LatencyBoundSec optionally rejects designs whose batch latency
+	// exceeds the bound on any workload (e.g. the MLPerf 15 ms image
+	// classification limit discussed in §6.2.5).
+	LatencyBoundSec float64
+}
+
+// WorkloadResult pairs a workload with its simulation on a design.
+type WorkloadResult struct {
+	Name   string
+	Result *sim.Result
+}
+
+// StudyResult is a completed search.
+type StudyResult struct {
+	// Best is the winning design (nil if no feasible design was found).
+	Best *arch.Config
+	// BestValue is the winning objective value.
+	BestValue float64
+	// Search holds the full trial history (convergence curves, Fig. 11).
+	Search search.Result
+	// PerWorkload re-simulates the winning design on each workload with
+	// the full (ILP-backed) fusion solve.
+	PerWorkload []WorkloadResult
+}
+
+// DefaultPlatform returns the fixed attributes FAST candidates inherit: a
+// single core at 1 GHz on GDDR6 (the paper's new-process, single-chip
+// inference platform).
+func DefaultPlatform() *arch.Config {
+	c := arch.FASTLarge().Clone("fast-candidate")
+	return c
+}
+
+// graphCache builds workload graphs lazily per (name, batch), shared
+// across trials; NativeBatch is a searched hyperparameter so each batch
+// size materializes its own graph.
+type graphCache struct {
+	mu sync.Mutex
+	m  map[string]*hlo.Graph
+}
+
+func (gc *graphCache) get(name string, batch int64) (*hlo.Graph, error) {
+	key := fmt.Sprintf("%s@%d", name, batch)
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if g, ok := gc.m[key]; ok {
+		return g, nil
+	}
+	g, err := models.Build(name, batch)
+	if err != nil {
+		return nil, err
+	}
+	if gc.m == nil {
+		gc.m = map[string]*hlo.Graph{}
+	}
+	gc.m[key] = g
+	return g, nil
+}
+
+// Run executes the study.
+func (s *Study) Run() (*StudyResult, error) {
+	if len(s.Workloads) == 0 {
+		return nil, fmt.Errorf("core: study needs at least one workload")
+	}
+	if s.Trials <= 0 {
+		return nil, fmt.Errorf("core: trials must be positive")
+	}
+	for _, w := range s.Workloads {
+		if _, err := models.Build(w, 1); err != nil {
+			return nil, err
+		}
+	}
+	base := s.Base
+	if base == nil {
+		base = DefaultPlatform()
+	}
+	pm := s.PowerModel
+	if pm == nil {
+		pm = power.Default()
+	}
+	budget := s.Budget
+	if budget.MaxTDPW == 0 {
+		budget = power.DefaultBudget(pm)
+	}
+	simOpts := sim.FASTOptions()
+	if s.SimOptions != nil {
+		simOpts = *s.SimOptions
+	}
+	simOpts.PowerModel = pm
+
+	gc := &graphCache{}
+	space := arch.Space{}
+
+	objective := func(idx [arch.NumParams]int) search.Evaluation {
+		cfg := space.Decode(idx, base)
+		if err := cfg.Validate(); err != nil {
+			return search.Evaluation{}
+		}
+		eval := pm.Evaluate(cfg)
+		if eval.TotalPower() > budget.MaxTDPW || eval.TotalArea() > budget.MaxAreaMM2 {
+			return search.Evaluation{}
+		}
+		logSum := 0.0
+		for _, w := range s.Workloads {
+			g, err := gc.get(w, cfg.NativeBatch)
+			if err != nil {
+				return search.Evaluation{}
+			}
+			r, err := sim.Simulate(g, cfg, simOpts)
+			if err != nil || r.ScheduleFailed || r.QPS <= 0 {
+				return search.Evaluation{} // Eq. 5
+			}
+			if s.LatencyBoundSec > 0 && r.LatencySec > s.LatencyBoundSec {
+				return search.Evaluation{}
+			}
+			v := r.QPS
+			if s.Objective == PerfPerTDP {
+				v = r.PerfPerTDP
+			}
+			if v <= 0 {
+				return search.Evaluation{}
+			}
+			logSum += math.Log(v)
+		}
+		return search.Evaluation{
+			Value:    math.Exp(logSum / float64(len(s.Workloads))),
+			Feasible: true,
+		}
+	}
+
+	alg := s.Algorithm
+	if alg == "" {
+		alg = search.AlgLCS
+	}
+	sr := search.Run(alg, objective, s.Trials, s.Seed)
+
+	out := &StudyResult{Search: sr}
+	if !sr.Best.Feasible {
+		return out, nil
+	}
+	out.BestValue = sr.Best.Value
+	out.Best = space.Decode(sr.Best.Index, base)
+	out.Best.Name = fmt.Sprintf("fast-%s-%s", s.Objective, shortName(s.Workloads))
+
+	// Final evaluation with the full ILP fusion solve.
+	finalOpts := simOpts
+	finalOpts.Fusion.GreedyOnly = false
+	for _, w := range s.Workloads {
+		g, err := gc.get(w, out.Best.NativeBatch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Simulate(g, out.Best, finalOpts)
+		if err != nil {
+			return nil, err
+		}
+		out.PerWorkload = append(out.PerWorkload, WorkloadResult{Name: w, Result: r})
+	}
+	return out, nil
+}
+
+func shortName(ws []string) string {
+	if len(ws) == 1 {
+		return ws[0]
+	}
+	return fmt.Sprintf("multi%d", len(ws))
+}
+
+// EvaluateDesign simulates a fixed design across workloads with the given
+// options (used by the Table 5/6 and Figure 9/10 harnesses).
+func EvaluateDesign(cfg *arch.Config, workloads []string, opts sim.Options) ([]WorkloadResult, error) {
+	var out []WorkloadResult
+	for _, w := range workloads {
+		g, err := models.Build(w, cfg.NativeBatch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Simulate(g, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WorkloadResult{Name: w, Result: r})
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of f over the results.
+func GeoMean(results []WorkloadResult, f func(*sim.Result) float64) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range results {
+		v := f(r.Result)
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(results)))
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/power"
+	"fast/internal/search"
+	"fast/internal/sim"
+)
+
+func TestStudyValidation(t *testing.T) {
+	if _, err := (&Study{Trials: 10}).Run(); err == nil {
+		t.Error("empty workloads must error")
+	}
+	if _, err := (&Study{Workloads: []string{"efficientnet-b0"}}).Run(); err == nil {
+		t.Error("zero trials must error")
+	}
+	if _, err := (&Study{Workloads: []string{"nope"}, Trials: 5}).Run(); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestSingleWorkloadSearchBeatsTPUBaseline(t *testing.T) {
+	// The core claim (Fig. 10): a modest-budget search finds a design with
+	// higher Perf/TDP than the die-shrunk TPU-v3 on EfficientNet-B0.
+	st := &Study{
+		Workloads: []string{"efficientnet-b0"},
+		Objective: PerfPerTDP,
+		Algorithm: search.AlgLCS,
+		Trials:    60,
+		Seed:      1,
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible design found")
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("best design invalid: %v", err)
+	}
+	base, err := EvaluateDesign(arch.DieShrunkTPUv3(), []string{"efficientnet-b0"}, sim.BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.PerWorkload[0].Result.PerfPerTDP / base[0].Result.PerfPerTDP
+	if gain < 1.5 {
+		t.Errorf("searched design Perf/TDP gain = %.2fx, want > 1.5x (paper: ~6x for EfficientNets)", gain)
+	}
+	// Constraint check (Eq. 4).
+	pm := power.Default()
+	b := power.DefaultBudget(pm)
+	if !b.Within(pm, res.Best) {
+		t.Error("best design violates the budget")
+	}
+}
+
+func TestMultiWorkloadGeoMeanObjective(t *testing.T) {
+	st := &Study{
+		Workloads: []string{"efficientnet-b0", "resnet50"},
+		Objective: PerfPerTDP,
+		Algorithm: search.AlgRandom,
+		Trials:    40,
+		Seed:      2,
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible design")
+	}
+	if len(res.PerWorkload) != 2 {
+		t.Fatalf("per-workload results = %d", len(res.PerWorkload))
+	}
+	// The study value must equal the geomean of per-trial metrics within
+	// greedy-vs-ILP slack.
+	gm := GeoMean(res.PerWorkload, func(r *sim.Result) float64 { return r.PerfPerTDP })
+	if gm < res.BestValue*0.9 {
+		t.Errorf("final geomean %.3g far below search value %.3g", gm, res.BestValue)
+	}
+}
+
+func TestLatencyBound(t *testing.T) {
+	// A very tight latency bound must constrain the chosen design (all
+	// results obey it), or make the study infeasible.
+	st := &Study{
+		Workloads:       []string{"efficientnet-b0"},
+		Objective:       Perf,
+		Algorithm:       search.AlgRandom,
+		Trials:          40,
+		Seed:            3,
+		LatencyBoundSec: 0.015,
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		for _, wr := range res.PerWorkload {
+			if wr.Result.LatencySec > 0.015*1.05 {
+				t.Errorf("latency bound violated: %.1fms", wr.Result.LatencySec*1e3)
+			}
+		}
+	}
+}
+
+func TestPerfObjectiveFillsBudget(t *testing.T) {
+	// §6.2.1: "when provided with pure performance as the objective, FAST
+	// successfully finds large designs that come close to our maximum
+	// area and TDP constraints". Perf-optimal designs should sit much
+	// closer to the budget than Perf/TDP-optimal ones.
+	run := func(obj ObjectiveKind) *arch.Config {
+		res, err := (&Study{
+			Workloads: []string{"efficientnet-b0"},
+			Objective: obj,
+			Algorithm: search.AlgLCS,
+			Trials:    80,
+			Seed:      4,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best == nil {
+			t.Fatal("no design")
+		}
+		return res.Best
+	}
+	pm := power.Default()
+	b := power.DefaultBudget(pm)
+	perf := pm.TDP(run(Perf)) / b.MaxTDPW
+	eff := pm.TDP(run(PerfPerTDP)) / b.MaxTDPW
+	if perf < eff {
+		t.Errorf("perf-optimal TDP share %.2f should be >= perf/TDP-optimal %.2f", perf, eff)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		res, err := (&Study{
+			Workloads: []string{"efficientnet-b0"},
+			Objective: PerfPerTDP,
+			Algorithm: search.AlgBayes,
+			Trials:    25,
+			Seed:      5,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestValue
+	}
+	if run() != run() {
+		t.Error("study not deterministic at fixed seed")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	id := func(r *sim.Result) float64 { return r.QPS }
+	if GeoMean(nil, id) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	rs := []WorkloadResult{
+		{Name: "a", Result: &sim.Result{QPS: 4}},
+		{Name: "b", Result: &sim.Result{QPS: 16}},
+	}
+	if g := GeoMean(rs, id); g < 7.99 || g > 8.01 {
+		t.Errorf("geomean = %f, want 8", g)
+	}
+	rs[1].Result.QPS = 0
+	if GeoMean(rs, id) != 0 {
+		t.Error("non-positive values must zero the geomean")
+	}
+}

@@ -1,0 +1,267 @@
+// Package fusion implements FAST fusion (§5.5, Figure 8): a secondary
+// pass over XLA-style fusion regions that decides which activation edges
+// and weight tensors to place in leftover Global Memory, minimizing total
+// execution time under the GM capacity constraint.
+//
+// The Figure 8 ILP is built faithfully and solved with internal/ilp
+// (branch-and-bound with a deadline, returning the incumbent on timeout —
+// the paper's SCIP contract). A density-greedy warm start with saturation
+// handling seeds the incumbent, so even a zero deadline yields a sound,
+// feasible solution.
+//
+// Two adaptations of the Fig. 8 formulation, documented in DESIGN.md:
+//
+//  1. The big-M adjacency constraint forces p_I(i)=0 unless region i
+//     executes immediately after its producer, and the fan-out
+//     constraints tie p_O(producer)=p_I(consumer); the free binaries are
+//     therefore one weight-pinning decision per region plus one
+//     edge-residency decision per producer→consumer pair, which is the
+//     form solved here.
+//  2. The paper's input graphs are pre-fused blobs (footnote 1) in which
+//     a whole MBConv block, including its squeeze-excite detour, is
+//     near-chain-like. Our XLA regions are finer, so strict order
+//     adjacency would forbid keeping the dominant dwconv→excite tensors
+//     on chip. Options.Window generalizes adjacency to "within W regions"
+//     (W=1 reproduces the paper's constraint; default W=4 spans an SE
+//     detour), with the tensor charged against GM capacity for every
+//     region it stays resident across.
+package fusion
+
+import (
+	"math"
+	"time"
+)
+
+// DefaultWindow is the default residency window (see package comment).
+const DefaultWindow = 4
+
+// RegionCost is the simulator-provided timing/size data for one fusion
+// region (one vertex of Fig. 8's graph), in execution order.
+type RegionCost struct {
+	// TMin is the region's execution time with all tensors on chip
+	// (compute-bound floor), seconds.
+	TMin float64
+	// TMax is the execution time with inputs, outputs and weights all
+	// streamed from DRAM.
+	TMax float64
+	// TWeight is the DRAM-time saving from pinning this region's weights
+	// in Global Memory; DWeight is their size.
+	TWeight float64
+	DWeight int64
+	// PinnableWeights is false for regions whose "stationary" operand is
+	// itself an activation (attention scores) — nothing to pin.
+	PinnableWeights bool
+
+	// EdgeProducer is the region producing this region's primary external
+	// activation input (-1 for none); EdgeBytes is that tensor's size.
+	EdgeProducer int
+	EdgeBytes    int64
+	// EdgeResidentBytes is the tensor's peak Global-Memory residency,
+	// which may be below EdgeBytes when the scheduler applies inter-op
+	// blocking (§5.5: "schedulers can use inter-op blocking to reduce
+	// tensor working set sizes") — e.g. streaming one batch sample at a
+	// time between adjacent regions. Zero means EdgeBytes.
+	EdgeResidentBytes int64
+	// TEdgeRead is the consumer-side DRAM-time saving when the edge
+	// tensor is GM-resident (includes activation re-read extras).
+	TEdgeRead float64
+	// TEdgeWrite is the producer-side saving (its DRAM write), zero when
+	// other consumers still force the tensor to DRAM.
+	TEdgeWrite float64
+
+	// BaseGM is B_i: the nominal Global Memory the scheduler already uses
+	// for working tiles while this region runs.
+	BaseGM int64
+}
+
+// Solution is the fusion assignment.
+type Solution struct {
+	// PinWeight[i] keeps region i's weights resident in GM across
+	// inferences (weight pinning).
+	PinWeight []bool
+	// EdgeOnChip[i] keeps region i's primary input tensor in GM from its
+	// producer until i runs.
+	EdgeOnChip []bool
+	// Times[i] is the post-fusion execution-time estimate per region.
+	Times []float64
+	// Total is ΣTimes.
+	Total float64
+	// GMUsedPeak is the peak Global Memory residency in bytes.
+	GMUsedPeak int64
+	// Method records how the solution was obtained: "ilp-optimal",
+	// "ilp-incumbent", "greedy", or "disabled".
+	Method string
+}
+
+// Options configures Optimize.
+type Options struct {
+	// Deadline bounds the ILP solve (default 2s). The paper uses a
+	// 20-minute SCIP timeout; experiments here size deadlines to the
+	// harness.
+	Deadline time.Duration
+	// Disable turns fusion off entirely (ablation): nothing is placed in
+	// GM.
+	Disable bool
+	// GreedyOnly skips the ILP (used inside search loops where thousands
+	// of trials run).
+	GreedyOnly bool
+	// Window is the residency window W (0 → DefaultWindow; 1 reproduces
+	// the paper's strict adjacency).
+	Window int
+}
+
+// regionTime evaluates max(TMin, TMax - saved).
+func regionTime(r RegionCost, saved float64) float64 {
+	t := r.TMax - saved
+	if t < r.TMin {
+		return r.TMin
+	}
+	return t
+}
+
+// savedByRegion accumulates each region's time savings for an assignment.
+func savedByRegion(regions []RegionCost, pin, keep []bool) []float64 {
+	saved := make([]float64, len(regions))
+	for i, r := range regions {
+		if pin[i] {
+			saved[i] += r.TWeight
+		}
+		if keep[i] {
+			saved[i] += r.TEdgeRead
+			if r.EdgeProducer >= 0 {
+				saved[r.EdgeProducer] += r.TEdgeWrite
+			}
+		}
+	}
+	return saved
+}
+
+// Optimize solves the FAST fusion problem for the given regions and GM
+// capacity (bytes).
+func Optimize(regions []RegionCost, capacity int64, opts Options) Solution {
+	n := len(regions)
+	sol := Solution{
+		PinWeight:  make([]bool, n),
+		EdgeOnChip: make([]bool, n),
+		Times:      make([]float64, n),
+		Method:     "greedy",
+	}
+	if opts.Disable || n == 0 || capacity <= 0 {
+		sol.Method = "disabled"
+		for i, r := range regions {
+			sol.Times[i] = r.TMax
+			sol.Total += r.TMax
+		}
+		return sol
+	}
+	window := opts.Window
+	if window == 0 {
+		window = DefaultWindow
+	}
+
+	// An edge is usable only within the residency window.
+	usable := make([]bool, n)
+	for i := range regions {
+		r := &regions[i]
+		if r.EdgeResidentBytes == 0 {
+			r.EdgeResidentBytes = r.EdgeBytes
+		}
+		usable[i] = r.EdgeProducer >= 0 && i-r.EdgeProducer >= 1 && i-r.EdgeProducer <= window
+	}
+
+	pin, keep := greedy(regions, usable, capacity)
+	if !opts.GreedyOnly {
+		deadline := opts.Deadline
+		if deadline == 0 {
+			deadline = 2 * time.Second
+		}
+		if p2, k2, method, ok := solveILP(regions, usable, capacity, pin, keep, deadline); ok {
+			pin, keep = p2, k2
+			sol.Method = method
+		}
+	}
+
+	copy(sol.PinWeight, pin)
+	copy(sol.EdgeOnChip, keep)
+	finalize(&sol, regions, capacity)
+	return sol
+}
+
+// finalize computes per-region times and peak GM usage for an assignment,
+// repairing any capacity violation by dropping the lowest-density choices
+// (defensive; greedy and ILP both respect capacity already).
+func finalize(sol *Solution, regions []RegionCost, capacity int64) {
+	for repair := 0; ; repair++ {
+		peak := peakUsage(sol, regions)
+		if peak <= capacity || repair > 2*len(regions) {
+			sol.GMUsedPeak = peak
+			break
+		}
+		dropLowestDensity(sol, regions)
+	}
+	saved := savedByRegion(regions, sol.PinWeight, sol.EdgeOnChip)
+	sol.Total = 0
+	for i, r := range regions {
+		sol.Times[i] = regionTime(r, saved[i])
+		sol.Total += sol.Times[i]
+	}
+}
+
+// peakUsage computes max over regions k of B_k + pinned weights + edge
+// tensors resident across k (an edge with producer p and consumer c
+// occupies GM for every region in [p, c]).
+func peakUsage(sol *Solution, regions []RegionCost) int64 {
+	n := len(regions)
+	var pinned int64
+	for i, r := range regions {
+		if sol.PinWeight[i] {
+			pinned += r.DWeight
+		}
+	}
+	// Sweep: delta array over residency intervals.
+	delta := make([]int64, n+1)
+	for i, r := range regions {
+		if sol.EdgeOnChip[i] && r.EdgeProducer >= 0 {
+			b := r.EdgeResidentBytes
+			if b == 0 {
+				b = r.EdgeBytes
+			}
+			delta[r.EdgeProducer] += b
+			delta[i+1] -= b
+		}
+	}
+	var peak, resident int64
+	for k := 0; k < n; k++ {
+		resident += delta[k]
+		use := pinned + resident + regions[k].BaseGM
+		if use > peak {
+			peak = use
+		}
+	}
+	return peak
+}
+
+func dropLowestDensity(sol *Solution, regions []RegionCost) {
+	worstI, worstKind := -1, 0
+	worst := math.Inf(1)
+	for i, r := range regions {
+		if sol.PinWeight[i] && r.DWeight > 0 {
+			if d := r.TWeight / float64(r.DWeight); d < worst {
+				worst, worstI, worstKind = d, i, 0
+			}
+		}
+		if sol.EdgeOnChip[i] && r.EdgeResidentBytes > 0 {
+			if d := (r.TEdgeRead + r.TEdgeWrite) / float64(r.EdgeResidentBytes); d < worst {
+				worst, worstI, worstKind = d, i, 1
+			}
+		}
+	}
+	if worstI < 0 {
+		return
+	}
+	if worstKind == 0 {
+		sol.PinWeight[worstI] = false
+	} else {
+		sol.EdgeOnChip[worstI] = false
+	}
+}

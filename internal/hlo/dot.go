@@ -1,0 +1,62 @@
+package hlo
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. When part is
+// non-nil, ops are clustered by fusion region, which makes the
+// XLA-partition structure (and therefore the FAST-fusion decision
+// surface) visible. Free ops are drawn dashed.
+func WriteDOT(w io.Writer, g *Graph, part *Partition) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
+
+	nodeAttrs := func(op *Op) string {
+		label := fmt.Sprintf("%s\\n%s %s", op.Name, op.Kind, op.Output)
+		style := ""
+		switch {
+		case op.Kind.IsMatrix():
+			style = ", style=filled, fillcolor=lightblue"
+		case op.Kind.IsFree():
+			style = ", style=dashed"
+		}
+		return fmt.Sprintf("[label=%q%s]", label, style)
+	}
+
+	if part != nil {
+		byRegion := map[int][]*Op{}
+		var loose []*Op
+		for _, op := range g.Ops {
+			if r := part.RegionOf(op.ID); r >= 0 {
+				byRegion[r] = append(byRegion[r], op)
+			} else {
+				loose = append(loose, op)
+			}
+		}
+		for _, r := range part.Regions {
+			fmt.Fprintf(&b, "  subgraph cluster_r%d {\n    label=\"region %d\";\n    color=gray;\n", r.ID, r.ID)
+			for _, op := range byRegion[r.ID] {
+				fmt.Fprintf(&b, "    n%d %s;\n", op.ID, nodeAttrs(op))
+			}
+			fmt.Fprintf(&b, "  }\n")
+		}
+		for _, op := range loose {
+			fmt.Fprintf(&b, "  n%d %s;\n", op.ID, nodeAttrs(op))
+		}
+	} else {
+		for _, op := range g.Ops {
+			fmt.Fprintf(&b, "  n%d %s;\n", op.ID, nodeAttrs(op))
+		}
+	}
+	for _, op := range g.Ops {
+		for _, in := range op.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, op.ID)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,49 @@
+package hlo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := tinyCNN()
+	var b strings.Builder
+	if err := WriteDOT(&b, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(out, "}\n") {
+		t.Error("not a DOT document")
+	}
+	// Every op appears as a node; every edge appears.
+	edges := 0
+	for _, op := range g.Ops {
+		if !strings.Contains(out, op.Name) {
+			t.Errorf("missing node for %s", op.Name)
+		}
+		edges += len(op.Inputs)
+	}
+	if got := strings.Count(out, "->"); got != edges {
+		t.Errorf("edges = %d, want %d", got, edges)
+	}
+}
+
+func TestWriteDOTWithPartition(t *testing.T) {
+	g := tinyCNN()
+	p := PartitionXLA(g)
+	var b strings.Builder
+	if err := WriteDOT(&b, g, p); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "subgraph cluster_"); got != len(p.Regions) {
+		t.Errorf("clusters = %d, want %d regions", got, len(p.Regions))
+	}
+	// Matrix ops are highlighted, free ops dashed.
+	if !strings.Contains(out, "fillcolor=lightblue") {
+		t.Error("matrix ops not highlighted")
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Error("free ops not dashed")
+	}
+}

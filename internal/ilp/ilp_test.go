@@ -1,0 +1,231 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSimplexBasicLP(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6, x,y>=0 → min -(x+y); optimum at
+	// (8/5, 6/5), objective -2.8.
+	lp := simplex([]float64{-1, -1},
+		[][]float64{{1, 2}, {3, 1}},
+		[]float64{4, 6}, 1000)
+	if !lp.feasible || lp.unbounded {
+		t.Fatalf("lp: %+v", lp)
+	}
+	if math.Abs(lp.objective-(-2.8)) > 1e-6 {
+		t.Errorf("objective = %f, want -2.8", lp.objective)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	// x <= -1, x >= 0 is infeasible.
+	lp := simplex([]float64{1}, [][]float64{{1}}, []float64{-1}, 1000)
+	if lp.feasible {
+		t.Error("expected infeasible")
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// min -x with only x - y <= 1 (both free to grow) is unbounded.
+	lp := simplex([]float64{-1, 0}, [][]float64{{1, -1}}, []float64{1}, 1000)
+	if !lp.unbounded {
+		t.Errorf("expected unbounded, got %+v", lp)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// x >= 2 expressed as -x <= -2; min x → 2.
+	lp := simplex([]float64{1}, [][]float64{{-1}}, []float64{-2}, 1000)
+	if !lp.feasible || math.Abs(lp.objective-2) > 1e-6 {
+		t.Errorf("lp: %+v, want objective 2", lp)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex: several redundant constraints through origin.
+	lp := simplex([]float64{-1, -1},
+		[][]float64{{1, 0}, {1, 0}, {0, 1}, {1, 1}},
+		[]float64{1, 1, 1, 1}, 1000)
+	if !lp.feasible || math.Abs(lp.objective-(-1)) > 1e-6 {
+		t.Errorf("objective = %f, want -1", lp.objective)
+	}
+}
+
+func TestSolveKnapsack(t *testing.T) {
+	// Classic 0/1 knapsack: values 60,100,120, weights 10,20,30, cap 50 →
+	// best 220 (items 2,3). As min of negative value.
+	p := Problem{
+		C:      []float64{-60, -100, -120},
+		A:      [][]float64{{10, 20, 30}},
+		B:      []float64{50},
+		Binary: []bool{true, true, true},
+	}
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || !r.Optimal {
+		t.Fatalf("result: %+v", r)
+	}
+	if math.Abs(r.Objective-(-220)) > 1e-6 {
+		t.Errorf("objective = %f, want -220", r.Objective)
+	}
+	if r.X[0] != 0 || r.X[1] != 1 || r.X[2] != 1 {
+		t.Errorf("x = %v", r.X)
+	}
+}
+
+func TestSolveMixedIntegerWithContinuous(t *testing.T) {
+	// min -3x1 - 2y s.t. x1 binary, 0<=y, x1 + y <= 1.5 → x1=1, y=0.5,
+	// objective -4.
+	p := Problem{
+		C:      []float64{-3, -2},
+		A:      [][]float64{{1, 1}},
+		B:      []float64{1.5},
+		U:      []float64{1, math.Inf(1)},
+		Binary: []bool{true, false},
+	}
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Optimal || math.Abs(r.Objective-(-4)) > 1e-6 {
+		t.Errorf("result: %+v", r)
+	}
+}
+
+func TestSolveMatchesBruteForceRandom(t *testing.T) {
+	// Property: on random small 0/1 problems, B&B matches brute force.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(5) // 3..7 binaries
+		m := 1 + r.Intn(3)
+		p := Problem{Binary: make([]bool, n)}
+		for i := 0; i < n; i++ {
+			p.C = append(p.C, math.Round(20*(r.Float64()-0.7)))
+			p.Binary[i] = true
+		}
+		for j := 0; j < m; j++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = math.Round(10 * r.Float64())
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, math.Round(5*float64(n)*r.Float64()))
+		}
+		got, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := BruteForce(p)
+		if got.Feasible != want.Feasible {
+			t.Fatalf("trial %d: feasible %v vs brute %v (p=%+v)", trial, got.Feasible, want.Feasible, p)
+		}
+		if got.Feasible && math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective %f vs brute %f (p=%+v)", trial, got.Objective, want.Objective, p)
+		}
+	}
+}
+
+func TestDeadlineReturnsIncumbent(t *testing.T) {
+	// With an already-expired deadline and a warm start, Solve must
+	// return the warm start as a non-optimal incumbent.
+	p := Problem{
+		C:      []float64{-60, -100, -120},
+		A:      [][]float64{{10, 20, 30}},
+		B:      []float64{50},
+		Binary: []bool{true, true, true},
+	}
+	warm := []float64{1, 1, 0} // value 160, feasible
+	r, err := Solve(p, Options{
+		Deadline:  time.Now().Add(-time.Second),
+		WarmStart: warm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.Optimal {
+		t.Fatalf("expected non-optimal incumbent, got %+v", r)
+	}
+	if math.Abs(r.Objective-(-160)) > 1e-6 {
+		t.Errorf("incumbent objective = %f, want -160", r.Objective)
+	}
+}
+
+func TestWarmStartValidated(t *testing.T) {
+	// An infeasible warm start must be ignored.
+	p := Problem{
+		C:      []float64{-1},
+		A:      [][]float64{{1}},
+		B:      []float64{0.5},
+		Binary: []bool{true},
+	}
+	r, err := Solve(p, Options{WarmStart: []float64{1}}) // violates x<=0.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.Objective != 0 {
+		t.Errorf("expected x=0 optimum, got %+v", r)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	_, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}, Options{})
+	if err == nil {
+		t.Error("expected dimension error")
+	}
+	_, err = Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}, Options{})
+	if err == nil {
+		t.Error("expected rhs mismatch error")
+	}
+}
+
+func TestGreedyKnapsack(t *testing.T) {
+	chosen := GreedyKnapsack([]float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	// Density order: 60/10=6, 100/20=5, 120/30=4 → picks 0,1 then 2
+	// doesn't fit → {0,1}.
+	if len(chosen) != 2 || chosen[0] != 0 || chosen[1] != 1 {
+		t.Errorf("chosen = %v", chosen)
+	}
+	// Zero-value and zero-weight items.
+	c2 := GreedyKnapsack([]float64{0, 5}, []float64{1, 0}, 0)
+	if len(c2) != 1 || c2[0] != 1 {
+		t.Errorf("free item must be taken: %v", c2)
+	}
+}
+
+func TestSolveInfeasibleProblem(t *testing.T) {
+	p := Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1}, {-1}},
+		B:      []float64{0.4, -0.6}, // 0.6 <= x <= 0.4: infeasible
+		Binary: []bool{true},
+	}
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Errorf("expected infeasible, got %+v", r)
+	}
+}
+
+func TestNodesCounted(t *testing.T) {
+	p := Problem{
+		C:      []float64{-1, -1, -1},
+		A:      [][]float64{{1, 1, 1}},
+		B:      []float64{1.5},
+		Binary: []bool{true, true, true},
+	}
+	r, _ := Solve(p, Options{})
+	if r.Nodes < 1 {
+		t.Error("node count missing")
+	}
+	if !r.Optimal || r.Objective != -1 {
+		t.Errorf("result: %+v", r)
+	}
+}

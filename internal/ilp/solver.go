@@ -1,0 +1,280 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Problem is min C·x subject to A·x ≤ B, 0 ≤ x ≤ U, and x[i] ∈ {0,1} for
+// every i in Binary. Upper bounds default to 1 for binary variables and
+// +inf for continuous ones when U is nil.
+type Problem struct {
+	C      []float64
+	A      [][]float64
+	B      []float64
+	U      []float64
+	Binary []bool
+}
+
+// Result reports the solve outcome.
+type Result struct {
+	X         []float64
+	Objective float64
+	// Feasible is false when no integer-feasible point was found.
+	Feasible bool
+	// Optimal is true when optimality was proven before the deadline.
+	Optimal bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Options configures Solve.
+type Options struct {
+	// Deadline bounds the solve; zero means no limit. On expiry the best
+	// incumbent is returned with Optimal=false (the SCIP-timeout contract
+	// from §6.1).
+	Deadline time.Time
+	// MaxSimplexIters caps each LP solve (default 20000).
+	MaxSimplexIters int
+	// WarmStart optionally seeds the incumbent with a known integer-
+	// feasible point.
+	WarmStart []float64
+}
+
+// Solve runs branch-and-bound with LP-relaxation bounds.
+func Solve(p Problem, o Options) (Result, error) {
+	if err := validate(p.C, p.A, p.B); err != nil {
+		return Result{}, err
+	}
+	n := len(p.C)
+	maxIter := o.MaxSimplexIters
+	if maxIter == 0 {
+		maxIter = 20000
+	}
+
+	// Materialize upper-bound rows (x ≤ u) once; branching appends
+	// variable fixings as extra rows.
+	baseA := make([][]float64, 0, len(p.A)+n)
+	baseB := make([]float64, 0, len(p.B)+n)
+	baseA = append(baseA, p.A...)
+	baseB = append(baseB, p.B...)
+	for i := 0; i < n; i++ {
+		u := math.Inf(1)
+		if p.U != nil {
+			u = p.U[i]
+		} else if p.Binary != nil && p.Binary[i] {
+			u = 1
+		}
+		if !math.IsInf(u, 1) {
+			row := make([]float64, n)
+			row[i] = 1
+			baseA = append(baseA, row)
+			baseB = append(baseB, u)
+		}
+	}
+
+	res := Result{Feasible: false, Objective: math.Inf(1)}
+	if o.WarmStart != nil && integerFeasible(p, o.WarmStart) {
+		res.Feasible = true
+		res.Objective = dot(p.C, o.WarmStart)
+		res.X = append([]float64(nil), o.WarmStart...)
+	}
+
+	expired := func() bool {
+		return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+	}
+
+	// node fixes a subset of binary variables.
+	type node struct {
+		fixVar []int
+		fixVal []float64
+	}
+	stack := []node{{}}
+	provedOptimal := true
+
+	for len(stack) > 0 {
+		if expired() {
+			provedOptimal = false
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		// Build this node's LP: base rows + fixings (x=v as two rows).
+		a := baseA
+		b := baseB
+		if len(nd.fixVar) > 0 {
+			a = append([][]float64(nil), baseA...)
+			b = append([]float64(nil), baseB...)
+			for k, v := range nd.fixVar {
+				lo := make([]float64, n)
+				hi := make([]float64, n)
+				lo[v] = -1
+				hi[v] = 1
+				a = append(a, hi, lo)
+				b = append(b, nd.fixVal[k], -nd.fixVal[k])
+			}
+		}
+		lp := simplexDeadline(p.C, a, b, maxIter, o.Deadline)
+		if !lp.feasible {
+			continue
+		}
+		if lp.unbounded {
+			// Unbounded relaxation with binaries still bounded: only
+			// continuous directions can be unbounded, so the MILP is too.
+			provedOptimal = false
+			continue
+		}
+		if res.Feasible && lp.objective >= res.Objective-1e-9 {
+			continue // bound: cannot beat incumbent
+		}
+		// Find the most fractional binary.
+		branch := -1
+		worst := 1e-6
+		for i := 0; i < n; i++ {
+			if p.Binary != nil && p.Binary[i] {
+				f := math.Abs(lp.x[i] - math.Round(lp.x[i]))
+				if f > worst {
+					worst, branch = f, i
+				}
+			}
+		}
+		if branch < 0 {
+			// Integer feasible (round off tiny fractional noise).
+			x := append([]float64(nil), lp.x...)
+			for i := range x {
+				if p.Binary != nil && p.Binary[i] {
+					x[i] = math.Round(x[i])
+				}
+			}
+			obj := dot(p.C, x)
+			if !res.Feasible || obj < res.Objective {
+				res.Feasible = true
+				res.Objective = obj
+				res.X = x
+			}
+			continue
+		}
+		// Depth-first: explore the rounding nearer the LP value first
+		// (pushed last).
+		near := math.Round(lp.x[branch])
+		far := 1 - near
+		stack = append(stack,
+			node{fixVar: append(append([]int(nil), nd.fixVar...), branch),
+				fixVal: append(append([]float64(nil), nd.fixVal...), far)},
+			node{fixVar: append(append([]int(nil), nd.fixVar...), branch),
+				fixVal: append(append([]float64(nil), nd.fixVal...), near)},
+		)
+	}
+	res.Optimal = res.Feasible && provedOptimal && len(stack) == 0
+	return res, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// integerFeasible checks a candidate point against all constraints and
+// integrality.
+func integerFeasible(p Problem, x []float64) bool {
+	if len(x) != len(p.C) {
+		return false
+	}
+	for i, v := range x {
+		if v < -feasEps {
+			return false
+		}
+		if p.Binary != nil && p.Binary[i] && math.Abs(v-math.Round(v)) > feasEps {
+			return false
+		}
+		if p.U != nil && v > p.U[i]+feasEps {
+			return false
+		}
+	}
+	for r, row := range p.A {
+		if dot(row, x) > p.B[r]+feasEps*(1+math.Abs(p.B[r])) {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteForce enumerates all binary assignments (continuous vars solved by
+// LP for each) — for testing only; exponential.
+func BruteForce(p Problem) Result {
+	n := len(p.C)
+	var binIdx []int
+	for i := 0; i < n; i++ {
+		if p.Binary != nil && p.Binary[i] {
+			binIdx = append(binIdx, i)
+		}
+	}
+	best := Result{Objective: math.Inf(1)}
+	total := 1 << len(binIdx)
+	for mask := 0; mask < total; mask++ {
+		// Fix binaries, solve the continuous remainder by LP.
+		a := append([][]float64(nil), p.A...)
+		b := append([]float64(nil), p.B...)
+		for k, v := range binIdx {
+			val := float64((mask >> k) & 1)
+			hi := make([]float64, n)
+			lo := make([]float64, n)
+			hi[v], lo[v] = 1, -1
+			a = append(a, hi, lo)
+			b = append(b, val, -val)
+		}
+		// Continuous upper bounds.
+		for i := 0; i < n; i++ {
+			if p.U != nil && !math.IsInf(p.U[i], 1) {
+				row := make([]float64, n)
+				row[i] = 1
+				a = append(a, row)
+				b = append(b, p.U[i])
+			}
+		}
+		lp := simplex(p.C, a, b, 20000)
+		if lp.feasible && !lp.unbounded && lp.objective < best.Objective {
+			best = Result{X: lp.x, Objective: lp.objective, Feasible: true, Optimal: true}
+		}
+	}
+	return best
+}
+
+// GreedyKnapsack solves max Σ v_i x_i s.t. Σ w_i x_i ≤ cap, x binary, by
+// value-density with a final sweep; a helper used for warm starts.
+// Returns the chosen index set.
+func GreedyKnapsack(values, weights []float64, capacity float64) []int {
+	type item struct {
+		i       int
+		density float64
+	}
+	items := make([]item, 0, len(values))
+	for i := range values {
+		if values[i] <= 0 {
+			continue
+		}
+		w := weights[i]
+		d := math.Inf(1)
+		if w > 0 {
+			d = values[i] / w
+		}
+		items = append(items, item{i, d})
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].density > items[b].density })
+	var chosen []int
+	var used float64
+	for _, it := range items {
+		if used+weights[it.i] <= capacity {
+			used += weights[it.i]
+			chosen = append(chosen, it.i)
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}

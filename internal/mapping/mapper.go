@@ -1,0 +1,257 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"fast/internal/arch"
+	"fast/internal/tensor"
+)
+
+// Scheme identifies a mapping family (the "known-good mapping schemes"
+// the paper's Vizier setup constrains the schedule space to, §5.3).
+type Scheme int
+
+const (
+	// WeightStationary latches a K×N tile (K rows × N cols) and streams M.
+	WeightStationary Scheme = iota
+	// OutputStationary accumulates an M×N tile in place and streams K.
+	OutputStationary
+	// Conv1D latches K filter taps per column and streams outputs, one
+	// independent output pixel per column (classic 1-D systolic
+	// convolution); requires ConvLike problems.
+	Conv1D
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case WeightStationary:
+		return "weight-stationary"
+	case OutputStationary:
+		return "output-stationary"
+	case Conv1D:
+		return "conv-1d"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// AllSchemes lists every mapping scheme.
+func AllSchemes() []Scheme { return []Scheme{WeightStationary, OutputStationary, Conv1D} }
+
+// Options controls the mapper.
+type Options struct {
+	// DisablePadding forbids the tensor-padding pre-pass: dimensions that
+	// do not divide the spatial tile evenly become schedule failures, the
+	// raw-Timeloop behaviour the paper's padding pass fixes (§6.1).
+	DisablePadding bool
+	// Schemes restricts the mapping families searched (nil = all).
+	Schemes []Scheme
+}
+
+// Mapping is the mapper's result for one problem on one datapath.
+type Mapping struct {
+	Scheme Scheme
+	// Cycles is the per-core compute cycle count (already divided across
+	// the PE grid).
+	Cycles float64
+	// ArrayUtil is the spatial efficiency on the systolic array in (0,1]:
+	// active MACs / total MACs during streaming.
+	ArrayUtil float64
+	// PEUtil is the PE-grid occupancy in (0,1].
+	PEUtil float64
+	// Failed marks an unschedulable problem; Reason explains why.
+	Failed bool
+	Reason string
+}
+
+// Utilization returns the end-to-end compute utilization (fraction of
+// peak FLOPs) achieved during the op's compute phase.
+func (m Mapping) Utilization() float64 { return m.ArrayUtil * m.PEUtil }
+
+// paddedEff returns d / roundUp(d, tile): the utilization retained after
+// the padding pre-pass pads dimension d up to a tile multiple.
+func paddedEff(d, tile int64) float64 {
+	if d <= 0 || tile <= 0 {
+		return 0
+	}
+	return float64(d) / float64(tensor.RoundUp(d, tile))
+}
+
+// divisible reports whether d factorizes cleanly into the tile (or is
+// smaller than it), the only shapes raw Timeloop accepts.
+func divisible(d, tile int64) bool { return d <= tile || d%tile == 0 }
+
+// minStreamChunk is the smallest temporal chunk (cycles) worth splitting
+// across PEs; below this, sequencing overhead dominates.
+const minStreamChunk = 64
+
+// fillCycles approximates pipeline fill/drain per scheduled pass.
+func fillCycles(c *arch.Config) float64 { return float64(c.SAx + c.SAy) }
+
+// evalScheme costs one mapping scheme; returns a failed Mapping when the
+// scheme cannot express the problem on this datapath.
+func evalScheme(p Problem, c *arch.Config, s Scheme, o Options) Mapping {
+	m := Mapping{Scheme: s}
+	fail := func(format string, args ...any) Mapping {
+		m.Failed = true
+		m.Reason = fmt.Sprintf(format, args...)
+		return m
+	}
+
+	// Tile geometry per scheme: rows/cols spatial dims, streamed dim.
+	var rowDim, colDim, streamDim int64
+	switch s {
+	case WeightStationary:
+		rowDim, colDim, streamDim = p.K, p.N, p.M
+	case OutputStationary:
+		rowDim, colDim, streamDim = p.M, p.N, p.K
+	case Conv1D:
+		if !p.ConvLike {
+			return fail("conv-1d requires a convolution-like problem")
+		}
+		// K taps per column; columns hold independent output pixels; the
+		// N output channels are temporal.
+		rowDim, colDim, streamDim = p.K, p.M, p.M
+	default:
+		return fail("unknown scheme")
+	}
+
+	if o.DisablePadding && (!divisible(rowDim, c.SAy) || !divisible(colDim, c.SAx)) {
+		return fail("dims %dx%d do not factorize into %dx%d array without padding",
+			rowDim, colDim, c.SAy, c.SAx)
+	}
+
+	// Buffer feasibility: one latched tile (double-buffered) must fit the
+	// weight scratchpad; streaming staging must fit input/output
+	// scratchpads. Under a Shared L1 the PEs pool their banks.
+	l1Scale := int64(1)
+	if c.L1Config == arch.Shared {
+		l1Scale = c.NumPEs()
+	}
+	tileBytes := c.SAx * c.SAy * p.Bytes * 2 // double buffer
+	if s == Conv1D {
+		tileBytes = c.SAy * c.SAx * p.Bytes // one tap set per column group
+	}
+	wBuf := (c.L1WeightKiB << 10) * l1Scale
+	if s == OutputStationary {
+		// Accumulators live in the output scratchpad instead.
+		if (c.L1OutputKiB<<10)*l1Scale < c.SAx*c.SAy*4 { // fp32 accumulate
+			return fail("output buffer %d KiB cannot hold %dx%d accumulators",
+				c.L1OutputKiB*l1Scale, c.SAy, c.SAx)
+		}
+	} else if wBuf < tileBytes {
+		return fail("weight buffer %d KiB cannot hold a %dx%d double-buffered tile",
+			c.L1WeightKiB*l1Scale, c.SAy, c.SAx)
+	}
+	if (c.L1InputKiB<<10)*l1Scale < c.SAy*p.Bytes*2*8 {
+		return fail("input buffer too small to stage %d-row operands", c.SAy)
+	}
+	if (c.L1OutputKiB<<10)*l1Scale < c.SAx*p.Bytes*2*8 {
+		return fail("output buffer too small to stage %d-col results", c.SAx)
+	}
+
+	// Spatial efficiency from the padding pre-pass.
+	rowEff := paddedEff(rowDim, min64(rowDim, c.SAy))
+	colEff := paddedEff(colDim, min64(colDim, c.SAx))
+	rowEff *= float64(min64(rowDim, c.SAy)) / float64(c.SAy)
+	colEff *= float64(min64(colDim, c.SAx)) / float64(c.SAx)
+	// Combined: fraction of array MACs doing real work while streaming.
+	arrayUtil := rowEff * colEff
+	if arrayUtil <= 0 {
+		return fail("degenerate problem")
+	}
+
+	// Work decomposition: units = independent latched tiles; each unit
+	// streams streamDim elements (one per cycle).
+	tilesRow := tensor.CeilDiv(rowDim, c.SAy)
+	tilesCol := tensor.CeilDiv(colDim, c.SAx)
+	units := p.Indep * tilesRow * tilesCol
+	if s == Conv1D {
+		// SAx columns emit SAx output pixels per cycle, so one unit (one
+		// K-tile of one instance and output channel) streams all M
+		// outputs in ceil(M/SAx) cycles; output channels multiply the
+		// unit count.
+		units = p.Indep * p.N * tilesRow
+		streamDim = tensor.CeilDiv(p.M, c.SAx)
+	}
+
+	// Latch floor: with double buffering a unit cannot finish faster than
+	// the tile reload (SAy cycles).
+	unitCycles := math.Max(float64(streamDim), float64(c.SAy))
+	latchPenalty := unitCycles / float64(streamDim)
+
+	// PE-grid parallelism: units are independent; long streams may also
+	// be split at minStreamChunk granularity.
+	splits := math.Max(1, math.Floor(unitCycles/minStreamChunk))
+	maxPar := float64(units) * splits
+	pes := float64(c.NumPEs())
+	usable := math.Min(pes, maxPar)
+	totalStream := float64(units) * unitCycles
+	cycles := totalStream / usable
+	if cycles < minStreamChunk {
+		cycles = minStreamChunk
+	}
+	cycles += fillCycles(c)
+
+	m.ArrayUtil = arrayUtil / latchPenalty
+	m.PEUtil = usable / pes
+	m.Cycles = cycles
+	return m
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Best maps the problem with every permitted scheme and returns the one
+// with the fewest cycles; the result is Failed only if every scheme
+// fails.
+func Best(p Problem, c *arch.Config, o Options) Mapping {
+	schemes := o.Schemes
+	if schemes == nil {
+		schemes = AllSchemes()
+	}
+	var best Mapping
+	best.Failed = true
+	best.Reason = "no schemes attempted"
+	for _, s := range schemes {
+		m := evalScheme(p, c, s, o)
+		if m.Failed {
+			if best.Failed && best.Reason == "no schemes attempted" {
+				best.Reason = m.Reason
+			}
+			continue
+		}
+		if best.Failed || m.Cycles < best.Cycles {
+			best = m
+		}
+	}
+	return best
+}
+
+// TrafficFloor returns the minimum DRAM bytes for the problem given
+// effective on-chip capacity capBytes, from the blocked-matmul I/O lower
+// bound: ~2·M·N·K·b/√(S/b) words beyond the compulsory traffic when the
+// working set exceeds capacity. The caller compares this floor with the
+// fusion-region compulsory traffic and takes the max.
+func TrafficFloor(p Problem, capBytes int64) int64 {
+	if capBytes <= 0 {
+		capBytes = 1 << 10
+	}
+	compulsory := p.ActivationBytes() + p.StationaryBytes() + p.OutputBytes()
+	working := compulsory
+	if working <= capBytes {
+		return compulsory
+	}
+	words := float64(capBytes) / float64(p.Bytes)
+	blocked := 2 * float64(p.Indep) * float64(p.M) * float64(p.N) * float64(p.K) *
+		float64(p.Bytes) / math.Sqrt(words)
+	if blocked < float64(compulsory) {
+		return compulsory
+	}
+	return int64(blocked)
+}

@@ -1,0 +1,301 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fast/internal/arch"
+	"fast/internal/hlo"
+	"fast/internal/models"
+	"fast/internal/tensor"
+)
+
+func bigConv() Problem {
+	// A late-stage conv: M = B·OH·OW = 8·14·14, N = 512, K = 3·3·512.
+	return Problem{M: 8 * 14 * 14, N: 512, K: 9 * 512, Indep: 1,
+		WeightsStationary: true, ConvLike: true, Bytes: 2}
+}
+
+func depthwise(c int64) Problem {
+	return Problem{M: 8 * 56 * 56, N: 1, K: 9, Indep: c,
+		WeightsStationary: true, ConvLike: true, Bytes: 2}
+}
+
+func TestFromOp(t *testing.T) {
+	g := hlo.NewGraph("t")
+	in := g.Input("x", tensor.NewShape(tensor.BF16, 2, 28, 28, 64))
+	conv := g.Conv2D("c", in, 128, 3, 3, 1, true)
+	p, ok := FromOp(conv)
+	if !ok {
+		t.Fatal("conv is a matrix op")
+	}
+	if p.M != 2*28*28 || p.N != 128 || p.K != 9*64 || p.Indep != 1 || !p.ConvLike {
+		t.Errorf("conv problem = %+v", p)
+	}
+	dw := g.DepthwiseConv2D("d", conv, 5, 5, 1, true)
+	p, _ = FromOp(dw)
+	if p.K != 25 || p.N != 1 || p.Indep != 128 {
+		t.Errorf("dw problem = %+v", p)
+	}
+	if p.FLOPs() != hlo.FLOPs(dw) {
+		t.Errorf("dw FLOPs mismatch: %d vs %d", p.FLOPs(), hlo.FLOPs(dw))
+	}
+	act := g.Activation("a", dw, 1)
+	if _, ok := FromOp(act); ok {
+		t.Error("activation is not a matrix op")
+	}
+}
+
+func TestFromOpFLOPsMatchHLO(t *testing.T) {
+	// Property: for every matrix op in every workload, the extracted
+	// problem's FLOPs equal the HLO accounting (minus LSTM gate math).
+	for _, name := range []string{"efficientnet-b0", "resnet50", "bert-128"} {
+		g := models.MustBuild(name, 4)
+		for _, op := range g.Ops {
+			p, ok := FromOp(op)
+			if !ok {
+				continue
+			}
+			want := hlo.FLOPs(op)
+			if op.Kind == hlo.KLSTMCell {
+				want -= int64(op.VecOpsPerElem) * op.Output.Elems()
+			}
+			if p.FLOPs() != want {
+				t.Fatalf("%s/%s: problem FLOPs %d != op FLOPs %d", name, op.Name, p.FLOPs(), want)
+			}
+		}
+	}
+}
+
+func TestDepthwiseUtilizationCliff(t *testing.T) {
+	// §3.2: a 3×3 depthwise conv on a 128×128 array peaks at 9/128
+	// utilization; on a 32×32 array it reaches 9/32.
+	tpu := arch.TPUv3()
+	m := Best(depthwise(64), tpu, Options{})
+	if m.Failed {
+		t.Fatalf("depthwise failed on TPU: %s", m.Reason)
+	}
+	if got, want := m.ArrayUtil, 9.0/128; math.Abs(got-want) > 0.01 {
+		t.Errorf("depthwise array util on 128x128 = %.4f, want %.4f", got, want)
+	}
+	fl := arch.FASTLarge()
+	m2 := Best(depthwise(64), fl, Options{})
+	if got, want := m2.ArrayUtil, 9.0/32; math.Abs(got-want) > 0.03 {
+		t.Errorf("depthwise array util on 32x32 = %.4f, want %.4f", got, want)
+	}
+	if m2.Utilization() <= m.Utilization() {
+		t.Error("smaller arrays must improve depthwise utilization")
+	}
+}
+
+func TestConvUtilizationHigh(t *testing.T) {
+	// A large conv must map efficiently on the TPU (paper: ~65-75% for
+	// big matmuls; our compute-phase util should exceed 0.7).
+	m := Best(bigConv(), arch.TPUv3(), Options{})
+	if m.Failed {
+		t.Fatalf("conv failed: %s", m.Reason)
+	}
+	if m.Utilization() < 0.7 {
+		t.Errorf("big conv utilization = %.3f, want > 0.7", m.Utilization())
+	}
+}
+
+func TestAttentionUtilizationDropsAtHeadDim(t *testing.T) {
+	// BERT attention: head dim 64 on a 128-wide array wastes half the
+	// array (§4.3); a 64-wide array fixes it.
+	attn := Problem{M: 1024, N: 1024, K: 64, Indep: 12, Bytes: 2}
+	tpu := Best(attn, arch.TPUv3(), Options{})
+	small := arch.FASTSmall()
+	fs := Best(attn, small, Options{})
+	if tpu.Failed || fs.Failed {
+		t.Fatalf("attention failed: %v %v", tpu.Reason, fs.Reason)
+	}
+	if tpu.ArrayUtil > 0.55 {
+		t.Errorf("attention on 128x128 array util = %.3f, want <= ~0.5", tpu.ArrayUtil)
+	}
+	if fs.ArrayUtil < tpu.ArrayUtil {
+		t.Error("smaller array must not hurt attention utilization")
+	}
+}
+
+func TestSchemeSelection(t *testing.T) {
+	// Depthwise must choose conv-1d; big convs weight-stationary or
+	// output-stationary.
+	m := Best(depthwise(64), arch.TPUv3(), Options{})
+	if m.Scheme != Conv1D {
+		t.Errorf("depthwise scheme = %s, want conv-1d", m.Scheme)
+	}
+	m2 := Best(Problem{M: 4096, N: 4096, K: 4096, WeightsStationary: true, Indep: 1, Bytes: 2},
+		arch.TPUv3(), Options{})
+	if m2.Scheme == Conv1D {
+		t.Error("dense matmul must not choose conv-1d")
+	}
+}
+
+func TestConv1DRequiresConvLike(t *testing.T) {
+	p := Problem{M: 128, N: 128, K: 64, Indep: 1, Bytes: 2}
+	m := evalScheme(p, arch.TPUv3(), Conv1D, Options{})
+	if !m.Failed {
+		t.Error("conv-1d must fail for non-conv problems")
+	}
+}
+
+func TestScheduleFailureOnTinyBuffers(t *testing.T) {
+	// A 256×256 array tile (128 KiB double-buffered 256 KiB) cannot fit
+	// 1 KiB private L1 weight buffers → schedule failure (Eq. 5).
+	c := arch.FASTLarge().Clone("tiny-l1")
+	c.SAx, c.SAy = 256, 256
+	c.PEsX, c.PEsY = 1, 1
+	c.L1Config = arch.Private
+	c.L1InputKiB, c.L1WeightKiB, c.L1OutputKiB = 1, 1, 1
+	m := Best(bigConv(), c, Options{})
+	if !m.Failed {
+		t.Errorf("expected schedule failure, got %+v", m)
+	}
+	if m.Reason == "" {
+		t.Error("failure must carry a reason")
+	}
+}
+
+func TestSharedL1PoolsCapacity(t *testing.T) {
+	// The same tiny per-PE buffers schedule when shared across 64 PEs.
+	c := arch.FASTLarge().Clone("shared-l1")
+	c.SAx, c.SAy = 128, 128
+	c.L1InputKiB, c.L1WeightKiB, c.L1OutputKiB = 2, 2, 2
+	c.L1Config = arch.Shared
+	if m := Best(bigConv(), c, Options{}); m.Failed {
+		t.Errorf("shared L1 should schedule: %s", m.Reason)
+	}
+	c.L1Config = arch.Private
+	if m := Best(bigConv(), c, Options{}); !m.Failed {
+		t.Error("private 2 KiB L1 must fail for a 128x128 tile")
+	}
+}
+
+func TestDisablePadding(t *testing.T) {
+	// A 113×113 output (M = 12769) with 300 output channels factorizes
+	// into no 128-wide tile: raw Timeloop (no padding) fails on every
+	// scheme; the padding pre-pass succeeds (§6.1).
+	odd := Problem{M: 113 * 113, N: 300, K: 27, Indep: 1,
+		WeightsStationary: true, ConvLike: true, Bytes: 2}
+	with := Best(odd, arch.TPUv3(), Options{})
+	if with.Failed {
+		t.Fatalf("padded odd conv failed: %s", with.Reason)
+	}
+	without := Best(odd, arch.TPUv3(), Options{DisablePadding: true})
+	if !without.Failed {
+		t.Error("expected failure without the padding pass")
+	}
+	// Dimensions that already factorize must map identically either way.
+	clean := Problem{M: 1 << 14, N: 256, K: 512, Indep: 1,
+		WeightsStationary: true, Bytes: 2}
+	a := Best(clean, arch.TPUv3(), Options{})
+	b := Best(clean, arch.TPUv3(), Options{DisablePadding: true})
+	if a.Failed || b.Failed || a.Cycles != b.Cycles {
+		t.Errorf("clean dims should be unaffected by the padding option: %+v vs %+v", a, b)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	// Property: utilization ∈ (0,1], cycles > 0 for random problems and
+	// designs.
+	s := arch.Space{}
+	r := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		c := s.Random(rr, arch.FASTLarge())
+		p := Problem{
+			M:     1 + rr.Int63n(1<<16),
+			N:     1 + rr.Int63n(1<<12),
+			K:     1 + rr.Int63n(1<<12),
+			Indep: 1 + rr.Int63n(64),
+			Bytes: 2, WeightsStationary: rr.Intn(2) == 0, ConvLike: rr.Intn(2) == 0,
+		}
+		m := Best(p, c, Options{})
+		if m.Failed {
+			return true // failures are legal; feasibility is design-dependent
+		}
+		u := m.Utilization()
+		return u > 0 && u <= 1.0+1e-9 && m.Cycles > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesLowerBound(t *testing.T) {
+	// Property: reported cycles × peak MACs ≥ real MAC work (no scheme
+	// can exceed peak).
+	r := rand.New(rand.NewSource(13))
+	s := arch.Space{}
+	for i := 0; i < 300; i++ {
+		c := s.Random(r, arch.FASTLarge())
+		p := Problem{
+			M: 1 + r.Int63n(1<<15), N: 1 + r.Int63n(1<<11), K: 1 + r.Int63n(1<<11),
+			Indep: 1 + r.Int63n(16), Bytes: 2,
+			WeightsStationary: true, ConvLike: r.Intn(2) == 0,
+		}
+		m := Best(p, c, Options{})
+		if m.Failed {
+			continue
+		}
+		macSlots := m.Cycles * float64(c.NumPEs()*c.MACsPerPE())
+		work := float64(p.Indep * p.M * p.N * p.K)
+		if macSlots < work*(1-1e-9) {
+			t.Fatalf("cycles %0.f provide %.3g MAC slots < %.3g work (%s on %s)",
+				m.Cycles, macSlots, work, m.Scheme, c)
+		}
+	}
+}
+
+func TestTrafficFloor(t *testing.T) {
+	p := bigConv()
+	compulsory := p.ActivationBytes() + p.StationaryBytes() + p.OutputBytes()
+	// Huge capacity → compulsory only.
+	if got := TrafficFloor(p, 1<<30); got != compulsory {
+		t.Errorf("traffic with huge cap = %d, want compulsory %d", got, compulsory)
+	}
+	// Tiny capacity → more than compulsory.
+	small := TrafficFloor(p, 32<<10)
+	if small <= compulsory {
+		t.Errorf("traffic with 32KiB cap = %d, want > %d", small, compulsory)
+	}
+	// Monotone non-increasing in capacity.
+	prev := int64(math.MaxInt64)
+	for _, cap := range []int64{16 << 10, 256 << 10, 4 << 20, 64 << 20} {
+		got := TrafficFloor(p, cap)
+		if got > prev {
+			t.Errorf("traffic floor not monotone at cap %d", cap)
+		}
+		prev = got
+	}
+	// Zero/negative capacity falls back safely.
+	if TrafficFloor(p, 0) < compulsory {
+		t.Error("zero capacity floor must still cover compulsory traffic")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if WeightStationary.String() != "weight-stationary" ||
+		OutputStationary.String() != "output-stationary" ||
+		Conv1D.String() != "conv-1d" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestSchemesRestriction(t *testing.T) {
+	m := Best(depthwise(64), arch.TPUv3(), Options{Schemes: []Scheme{WeightStationary}})
+	if m.Failed {
+		t.Fatalf("WS-only depthwise failed: %s", m.Reason)
+	}
+	if m.Scheme != WeightStationary {
+		t.Error("restriction ignored")
+	}
+	// WS-only depthwise wastes the columns: far worse than conv-1d.
+	free := Best(depthwise(64), arch.TPUv3(), Options{})
+	if m.Utilization() > free.Utilization()/4 {
+		t.Errorf("WS depthwise util %.4f should be ≪ conv-1d %.4f", m.Utilization(), free.Utilization())
+	}
+}

@@ -1,0 +1,83 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fast/internal/hlo"
+)
+
+// Build constructs a workload graph by canonical name at the given batch
+// size. Recognized names:
+//
+//	efficientnet-b0 .. efficientnet-b7
+//	resnet50
+//	bert-128, bert-1024 (or bert-<seq> for any sequence length)
+//	ocr-rpn, ocr-recognizer
+func Build(name string, batch int64) (*hlo.Graph, error) {
+	switch {
+	case strings.HasPrefix(name, "efficientnet-b"):
+		v, err := strconv.Atoi(strings.TrimPrefix(name, "efficientnet-b"))
+		if err != nil || v < 0 || v > 7 {
+			return nil, fmt.Errorf("models: bad EfficientNet variant in %q", name)
+		}
+		return EfficientNet(v, batch), nil
+	case name == "resnet50":
+		return ResNet50v2(batch), nil
+	case strings.HasPrefix(name, "bert-"):
+		seq, err := strconv.ParseInt(strings.TrimPrefix(name, "bert-"), 10, 64)
+		if err != nil || seq < 1 {
+			return nil, fmt.Errorf("models: bad BERT sequence length in %q", name)
+		}
+		return BERTBase(batch, seq), nil
+	case name == "ocr-rpn":
+		return OCRRPN(batch), nil
+	case name == "ocr-recognizer":
+		return OCRRecognizer(batch), nil
+	case name == "mobilenetv2":
+		return MobileNetV2(batch), nil
+	}
+	return nil, fmt.Errorf("models: unknown workload %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// MustBuild is Build that panics on error; for tests and examples.
+func MustBuild(name string, batch int64) *hlo.Graph {
+	g, err := Build(name, batch)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Names lists every canonical workload name.
+func Names() []string {
+	out := []string{"resnet50", "bert-128", "bert-1024", "ocr-rpn", "ocr-recognizer", "mobilenetv2"}
+	for v := 0; v <= 7; v++ {
+		out = append(out, fmt.Sprintf("efficientnet-b%d", v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FullSuite is the paper's complete benchmark list (Figures 9-10): the
+// EfficientNet family, BERT at both sequence lengths, ResNet-50v2, and
+// the two OCR stages.
+func FullSuite() []string {
+	return []string{
+		"efficientnet-b0", "efficientnet-b1", "efficientnet-b2",
+		"efficientnet-b3", "efficientnet-b4", "efficientnet-b5",
+		"efficientnet-b6", "efficientnet-b7",
+		"resnet50", "ocr-rpn", "ocr-recognizer",
+		"bert-128", "bert-1024",
+	}
+}
+
+// MultiWorkloadSuite is the 5-workload set the paper's multi-workload
+// design optimizes over ("GeoMean-5"): EfficientNet-B7, ResNet-50,
+// OCR-RPN, OCR-Recognizer, BERT-1024.
+func MultiWorkloadSuite() []string {
+	return []string{"efficientnet-b7", "resnet50", "ocr-rpn", "ocr-recognizer", "bert-1024"}
+}

@@ -1,0 +1,79 @@
+package power
+
+import "fast/internal/arch"
+
+// Energy model.
+//
+// TDP (power-virus peak) drives the paper's Perf/TDP metric, but related
+// work it compares against (e.g. MAGNet's 1.75× Perf/W) reports energy
+// per inference. This file adds the per-event dynamic-energy coefficients
+// that, combined with a simulation's activity counts (MACs, vector ops,
+// DRAM bytes) and its latency (for static power), give Joules per
+// inference. Coefficients are public sub-10nm ballparks, consistent with
+// the TDP model's component constants.
+
+// EnergyCoeffs are per-event dynamic energies.
+type EnergyCoeffs struct {
+	// MACpJ is the energy of one bf16 multiply-accumulate including its
+	// local register movement.
+	MACpJ float64
+	// VectorOpPJ is the energy of one VPU element op.
+	VectorOpPJ float64
+	// SRAMpJPerByte is the on-chip scratchpad/global-buffer access energy.
+	SRAMpJPerByte float64
+	// DRAMGDDR6pJPerByte / DRAMHBMpJPerByte are the off-chip access
+	// energies per byte (device + PHY + controller); HBM's stacked,
+	// short-reach links cost less per bit than GDDR6.
+	DRAMGDDR6pJPerByte float64
+	DRAMHBMpJPerByte   float64
+	// StaticFraction is the share of the design's TDP drawn as
+	// leakage/clocking regardless of activity.
+	StaticFraction float64
+}
+
+// DefaultEnergy returns the calibrated coefficients.
+func DefaultEnergy() EnergyCoeffs {
+	return EnergyCoeffs{
+		MACpJ:              0.5,
+		VectorOpPJ:         1.5,
+		SRAMpJPerByte:      1.0,
+		DRAMGDDR6pJPerByte: 14,
+		DRAMHBMpJPerByte:   6,
+		StaticFraction:     0.20,
+	}
+}
+
+// DRAMpJPerByte selects the coefficient for the design's memory
+// technology.
+func (e EnergyCoeffs) DRAMpJPerByte(c *arch.Config) float64 {
+	if c.Mem == arch.HBM2 {
+		return e.DRAMHBMpJPerByte
+	}
+	return e.DRAMGDDR6pJPerByte
+}
+
+// Activity is the activity summary of one simulated inference batch,
+// produced by the simulator.
+type Activity struct {
+	// MACs is the multiply-accumulate count (FLOPs/2 of matrix work).
+	MACs float64
+	// VectorOps is the VPU element-op count.
+	VectorOps float64
+	// DRAMBytes is the post-fusion off-chip traffic.
+	DRAMBytes float64
+	// SRAMBytes approximates on-chip operand traffic.
+	SRAMBytes float64
+	// Seconds is the batch latency (for static energy).
+	Seconds float64
+}
+
+// Energy evaluates Joules for the activity on a design whose TDP the
+// model computed.
+func (m *Model) Energy(c *arch.Config, e EnergyCoeffs, a Activity) float64 {
+	dynamic := (a.MACs*e.MACpJ +
+		a.VectorOps*e.VectorOpPJ +
+		a.SRAMBytes*e.SRAMpJPerByte +
+		a.DRAMBytes*e.DRAMpJPerByte(c)) * 1e-12
+	static := e.StaticFraction * m.TDP(c) * a.Seconds
+	return dynamic + static
+}

@@ -1,0 +1,91 @@
+// Package roi implements the paper's return-on-investment model (§5.1,
+// Eq. 1-2): the savings from deploying a more cost-efficient accelerator
+// against the non-recurring engineering cost of designing it.
+//
+//	TCO_old = C_cap(n) + t_D · C_op(n)
+//	ROI     = TCO_old · (S − 1) / ((t_design · C_eng + C_mask + C_IP) · S)
+//
+// All constants come from the public sources the paper cites: the NVIDIA
+// DGX A100 MSRP, the May-2021 US commercial electricity price, a 3-year
+// deployment lifetime, SF-Bay median SWE compensation with 65% overhead,
+// Simba/Tesla-FSD-derived 65 engineer-years, and mask/IP costs
+// extrapolated to sub-10nm per the ASIC Clouds methodology.
+package roi
+
+import "math"
+
+// Params are the ROI model constants.
+type Params struct {
+	// AccelUnitCost is the per-accelerator capital cost including the
+	// amortized host, networking and rack share (DGX A100 320GB MSRP
+	// $199,000 / 8 accelerators).
+	AccelUnitCost float64
+	// PowerKW is the per-accelerator average wall power draw including
+	// system share.
+	PowerKW float64
+	// ElecPerKWh is the electricity price ($/kWh, US commercial May
+	// 2021).
+	ElecPerKWh float64
+	// YearsDeployed is the accelerator lifetime t_D.
+	YearsDeployed float64
+	// EngYears is t_design: aggregate engineering-years for a dedicated
+	// inference accelerator (the Simba/Tesla-FSD average).
+	EngYears float64
+	// EngCostPerYear is C_eng: fully-loaded cost per engineer-year
+	// ($240k median comp × 1.65 overhead).
+	EngCostPerYear float64
+	// MaskCost and IPCost are C_mask and C_IP, extrapolated to a sub-10nm
+	// process.
+	MaskCost float64
+	IPCost   float64
+}
+
+// Default returns the §5.1 constants.
+func Default() Params {
+	return Params{
+		AccelUnitCost:  199000.0 / 8,
+		PowerKW:        0.65,
+		ElecPerKWh:     0.1084,
+		YearsDeployed:  3,
+		EngYears:       65,
+		EngCostPerYear: 240000 * 1.65,
+		MaskCost:       9.5e6,
+		IPCost:         7.8e6,
+	}
+}
+
+// NRE returns the non-recurring engineering cost (denominator core):
+// t_design·C_eng + C_mask + C_IP.
+func (p Params) NRE() float64 {
+	return p.EngYears*p.EngCostPerYear + p.MaskCost + p.IPCost
+}
+
+// UnitTCO returns the per-accelerator total cost of ownership over the
+// deployment lifetime: capital plus electricity.
+func (p Params) UnitTCO() float64 {
+	hours := p.YearsDeployed * 365 * 24
+	return p.AccelUnitCost + p.PowerKW*hours*p.ElecPerKWh
+}
+
+// ROI evaluates Eq. 2 for a design with Perf/TCO improvement s (relative
+// to the baseline) deployed at volume n accelerators. s must exceed 1 for
+// a positive return; s <= 1 yields 0.
+func (p Params) ROI(s float64, n float64) float64 {
+	if s <= 1 || n <= 0 {
+		return 0
+	}
+	tcoOld := n * p.UnitTCO()
+	return tcoOld * (s - 1) / (p.NRE() * s)
+}
+
+// VolumeForROI inverts Eq. 2: the deployment volume needed to reach the
+// given ROI target with Perf/TCO improvement s. Returns +Inf for s <= 1.
+func (p Params) VolumeForROI(s, target float64) float64 {
+	if s <= 1 {
+		return math.Inf(1)
+	}
+	return target * p.NRE() * s / (p.UnitTCO() * (s - 1))
+}
+
+// BreakEvenVolume is VolumeForROI(s, 1).
+func (p Params) BreakEvenVolume(s float64) float64 { return p.VolumeForROI(s, 1) }

@@ -1,0 +1,123 @@
+package roi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable4BreakEvenVolumes(t *testing.T) {
+	// Table 4: break-even (1× ROI) volumes per workload given the Fig. 10
+	// Perf/TCO speedups. Allow ±12% (our mask/IP extrapolation differs in
+	// the last digit from theirs).
+	p := Default()
+	cases := []struct {
+		s    float64
+		want float64
+	}{
+		{3.91, 2164}, // EfficientNet-B7
+		{2.65, 2588}, // ResNet50
+		{2.34, 2810}, // OCR-RPN
+		{2.72, 2548}, // OCR-Recognizer
+		{1.84, 3534}, // BERT-128
+		{2.70, 2558}, // BERT-1024
+		{2.82, 2792}, // Multi-workload
+	}
+	for _, c := range cases {
+		got := p.BreakEvenVolume(c.s)
+		if math.Abs(got-c.want)/c.want > 0.12 {
+			t.Errorf("break-even(S=%.2f) = %.0f, want ≈%.0f", c.s, got, c.want)
+		}
+	}
+}
+
+func TestROITargetsScaleLinearly(t *testing.T) {
+	// Table 4 columns: 2×/4×/8× ROI need exactly 2×/4×/8× the volume.
+	p := Default()
+	base := p.VolumeForROI(3.91, 1)
+	for _, k := range []float64{2, 4, 8} {
+		if got := p.VolumeForROI(3.91, k); math.Abs(got-k*base) > 1e-6*base {
+			t.Errorf("volume(%gx) = %.1f, want %.1f", k, got, k*base)
+		}
+	}
+}
+
+func TestROIInverseConsistency(t *testing.T) {
+	// Property: ROI(s, VolumeForROI(s, r)) == r.
+	p := Default()
+	f := func(sRaw, rRaw uint8) bool {
+		s := 1.1 + float64(sRaw)/16  // 1.1 .. ~17
+		r := 0.25 + float64(rRaw)/32 // 0.25 .. ~8.2
+		n := p.VolumeForROI(s, r)
+		return math.Abs(p.ROI(s, n)-r) < 1e-9*r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiminishingReturns(t *testing.T) {
+	// §5.1: "deploying 8000 accelerators with 1.5x Perf/TCO has higher
+	// ROI than deploying 2000 accelerators with 100x".
+	p := Default()
+	small := p.ROI(1.5, 8000)
+	big := p.ROI(100, 2000)
+	if small <= big {
+		t.Errorf("ROI(1.5x, 8000)=%.2f should exceed ROI(100x, 2000)=%.2f", small, big)
+	}
+}
+
+func TestVolumeMattersMost(t *testing.T) {
+	// §5.1: all speedups become ROI-positive with sufficient volume.
+	p := Default()
+	for _, s := range []float64{1.5, 2, 4, 10, 100} {
+		if p.ROI(s, 1e6) <= 1 {
+			t.Errorf("S=%.1f at 1M units should be profitable", s)
+		}
+	}
+}
+
+func TestNoGainNoROI(t *testing.T) {
+	p := Default()
+	if p.ROI(1.0, 1e6) != 0 || p.ROI(0.5, 1e6) != 0 {
+		t.Error("S <= 1 must yield zero ROI")
+	}
+	if !math.IsInf(p.VolumeForROI(1.0, 1), 1) {
+		t.Error("break-even volume at S=1 must be infinite")
+	}
+	if p.ROI(2, 0) != 0 {
+		t.Error("zero volume must yield zero ROI")
+	}
+}
+
+func TestROIMonotone(t *testing.T) {
+	// Property: ROI is increasing in both volume and (above 1) speedup.
+	p := Default()
+	prev := 0.0
+	for n := 500.0; n <= 64000; n *= 2 {
+		r := p.ROI(3, n)
+		if r <= prev {
+			t.Errorf("ROI not increasing in volume at n=%.0f", n)
+		}
+		prev = r
+	}
+	prev = 0
+	for s := 1.25; s < 64; s *= 2 {
+		r := p.ROI(s, 4000)
+		if r <= prev {
+			t.Errorf("ROI not increasing in speedup at s=%.2f", s)
+		}
+		prev = r
+	}
+}
+
+func TestNREComposition(t *testing.T) {
+	p := Default()
+	want := 65*240000*1.65 + 9.5e6 + 7.8e6
+	if math.Abs(p.NRE()-want) > 1 {
+		t.Errorf("NRE = %.0f, want %.0f", p.NRE(), want)
+	}
+	if p.UnitTCO() <= p.AccelUnitCost {
+		t.Error("TCO must include operating cost")
+	}
+}

@@ -1,0 +1,150 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"fast/internal/arch"
+)
+
+// Bayesian is a surrogate-model optimizer in the spirit of Vizier's
+// default: a radial-basis-function regressor over normalized coordinates
+// predicts the objective, a distance-based uncertainty term provides
+// exploration, and each round proposes the candidate maximizing the
+// upper-confidence-bound acquisition over a sampled pool (random points
+// plus mutations of the incumbents). Infeasible observations are kept
+// with a pessimistic value so the surrogate learns the feasible region
+// ("safe search").
+func Bayesian(obj Objective, trials int, seed int64) Result {
+	r := rand.New(rand.NewSource(seed))
+	dims := arch.Space{}.Dims()
+
+	var res Result
+	type sample struct {
+		x [arch.NumParams]float64
+		y float64
+	}
+	var data []sample
+	worst := 0.0 // running min feasible value, used to score infeasibles
+
+	normalize := func(idx [arch.NumParams]int) [arch.NumParams]float64 {
+		var x [arch.NumParams]float64
+		for d, card := range dims {
+			if card > 1 {
+				x[d] = float64(idx[d]) / float64(card-1)
+			}
+		}
+		return x
+	}
+
+	const bandwidth = 0.35 // RBF kernel width in normalized space
+
+	predict := func(x [arch.NumParams]float64) (mean, sigma float64) {
+		if len(data) == 0 {
+			return 0, 1
+		}
+		var wsum, vsum, nearest float64
+		nearest = math.Inf(1)
+		for _, s := range data {
+			var d2 float64
+			for d := range x {
+				diff := x[d] - s.x[d]
+				d2 += diff * diff
+			}
+			w := math.Exp(-d2 / (2 * bandwidth * bandwidth))
+			wsum += w
+			vsum += w * s.y
+			if d2 < nearest {
+				nearest = d2
+			}
+		}
+		if wsum < 1e-12 {
+			return 0, 1
+		}
+		// Uncertainty grows with distance to the nearest observation.
+		return vsum / wsum, 1 - math.Exp(-nearest/(bandwidth*bandwidth))
+	}
+
+	// Warm-up: random exploration for the first max(8, trials/10) trials.
+	warm := trials / 10
+	if warm < 8 {
+		warm = 8
+	}
+
+	evalPoint := func(idx [arch.NumParams]int) {
+		ev := obj(idx)
+		observe(&res, Trial{Index: idx, Evaluation: ev})
+		y := ev.Value
+		if !ev.Feasible {
+			// Pessimistic stand-in below the worst feasible value.
+			y = worst - 1
+		} else if y < worst || len(data) == 0 {
+			worst = y
+		}
+		data = append(data, sample{x: normalize(idx), y: y})
+	}
+
+	randomIdx := func() [arch.NumParams]int {
+		var idx [arch.NumParams]int
+		for d, card := range dims {
+			idx[d] = r.Intn(card)
+		}
+		return idx
+	}
+
+	for t := 0; t < trials; t++ {
+		if t < warm || !res.Best.Feasible {
+			evalPoint(randomIdx())
+			continue
+		}
+		// UCB acquisition over a candidate pool.
+		kappa := 1.5 * (1 - float64(t)/float64(trials)) // anneal exploration
+		pool := 64
+		bestAcq := math.Inf(-1)
+		var bestIdx [arch.NumParams]int
+		for c := 0; c < pool; c++ {
+			var cand [arch.NumParams]int
+			switch {
+			case c < pool/3:
+				cand = randomIdx()
+			case c < 2*pool/3:
+				cand = mutate(r, res.Best.Index, 0.25)
+			default:
+				// Mutate a random prior feasible incumbent.
+				base := res.Best.Index
+				if k := feasibleAt(&res, r); k >= 0 {
+					base = res.History[k].Index
+				}
+				cand = mutate(r, base, 0.4)
+			}
+			mean, sigma := predict(normalize(cand))
+			spread := math.Abs(res.Best.Value)
+			if spread == 0 {
+				spread = 1
+			}
+			acq := mean + kappa*sigma*spread
+			if acq > bestAcq {
+				bestAcq = acq
+				bestIdx = cand
+			}
+		}
+		evalPoint(bestIdx)
+	}
+	return res
+}
+
+// feasibleAt returns the index of a uniformly random feasible trial in
+// the history (-1 if none).
+func feasibleAt(res *Result, r *rand.Rand) int {
+	count := 0
+	pick := -1
+	for i, t := range res.History {
+		if t.Feasible {
+			count++
+			if r.Intn(count) == 0 {
+				pick = i
+			}
+		}
+	}
+	return pick
+}

@@ -1,0 +1,128 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"fast/internal/arch"
+)
+
+// LCS is the Linear Combination Swarm optimizer: a bounded particle swarm
+// over the continuous relaxation of the ordinal space. Each particle's
+// next position is a linear combination of its velocity, its personal
+// best, and the global best (the "linear combination" of the name);
+// positions are rounded to the ordinal grid for evaluation. Infeasible
+// evaluations never update bests, which keeps the swarm inside the safe
+// region.
+func LCS(obj Objective, trials int, seed int64) Result {
+	r := rand.New(rand.NewSource(seed))
+	dims := arch.Space{}.Dims()
+
+	particles := 16
+	if trials < particles {
+		particles = trials
+	}
+	if particles == 0 {
+		return Result{}
+	}
+
+	const (
+		inertia   = 0.65
+		cPersonal = 1.2
+		cGlobal   = 1.6
+	)
+
+	type particle struct {
+		pos, vel  [arch.NumParams]float64
+		best      [arch.NumParams]float64
+		bestValue float64
+		hasBest   bool
+	}
+	swarm := make([]particle, particles)
+	for i := range swarm {
+		for d, card := range dims {
+			swarm[i].pos[d] = r.Float64() * float64(card-1)
+			swarm[i].vel[d] = (r.Float64() - 0.5) * float64(card) / 2
+		}
+		swarm[i].bestValue = math.Inf(-1)
+	}
+
+	var res Result
+	var gBest [arch.NumParams]float64
+	gBestValue := math.Inf(-1)
+	hasGlobal := false
+
+	round := func(pos [arch.NumParams]float64) [arch.NumParams]int {
+		var idx [arch.NumParams]int
+		for d, card := range dims {
+			v := int(math.Round(pos[d]))
+			if v < 0 {
+				v = 0
+			}
+			if v >= card {
+				v = card - 1
+			}
+			idx[d] = v
+		}
+		return idx
+	}
+
+	for t := 0; t < trials; t++ {
+		p := &swarm[t%particles]
+		idx := round(p.pos)
+		ev := obj(idx)
+		observe(&res, Trial{Index: idx, Evaluation: ev})
+
+		if ev.Feasible && ev.Value > p.bestValue {
+			p.bestValue = ev.Value
+			p.best = p.pos
+			p.hasBest = true
+		}
+		if ev.Feasible && ev.Value > gBestValue {
+			gBestValue = ev.Value
+			gBest = p.pos
+			hasGlobal = true
+		}
+
+		// Velocity/position update (applied after each evaluation so the
+		// swarm state is deterministic in trial order).
+		for d, card := range dims {
+			v := inertia * p.vel[d]
+			if p.hasBest {
+				v += cPersonal * r.Float64() * (p.best[d] - p.pos[d])
+			}
+			if hasGlobal {
+				v += cGlobal * r.Float64() * (gBest[d] - p.pos[d])
+			}
+			if !p.hasBest && !hasGlobal {
+				// No feasible anchor yet: random restart drift.
+				v = (r.Float64() - 0.5) * float64(card)
+			}
+			// Velocity clamp keeps particles inside a couple of grid
+			// steps per iteration.
+			limit := float64(card) / 2
+			if v > limit {
+				v = limit
+			}
+			if v < -limit {
+				v = -limit
+			}
+			p.vel[d] = v
+			p.pos[d] += v
+			if p.pos[d] < 0 {
+				p.pos[d] = 0
+				p.vel[d] = math.Abs(p.vel[d]) / 2
+			}
+			if p.pos[d] > float64(card-1) {
+				p.pos[d] = float64(card - 1)
+				p.vel[d] = -math.Abs(p.vel[d]) / 2
+			}
+		}
+		// Occasional mutation kick to escape local optima.
+		if r.Float64() < 0.05 {
+			d := r.Intn(arch.NumParams)
+			p.pos[d] = r.Float64() * float64(dims[d]-1)
+		}
+	}
+	return res
+}

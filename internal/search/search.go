@@ -1,0 +1,155 @@
+// Package search provides the black-box optimizers FAST drives its
+// datapath exploration with — the Google Vizier substitute. Three
+// heuristic families are implemented, matching the paper's Figure 11
+// comparison: pure random sampling, Linear Combination Swarm (LCS, a
+// bounded particle swarm over the ordinal hyperparameter space, after
+// Golovin et al.), and a surrogate-model Bayesian optimizer (RBF
+// regression with an upper-confidence-bound acquisition).
+//
+// All optimizers observe (value, feasible) pairs; infeasible trials
+// (budget violations or schedule failures, Eq. 4-5) carry no value but
+// still steer the search away — the "safe search" behaviour the paper
+// enables in Vizier.
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"fast/internal/arch"
+)
+
+// Evaluation is the outcome of one trial.
+type Evaluation struct {
+	// Value is the objective (higher is better); meaningful only when
+	// Feasible.
+	Value float64
+	// Feasible reports whether the design met every constraint.
+	Feasible bool
+}
+
+// Objective evaluates a hyperparameter vector.
+type Objective func(idx [arch.NumParams]int) Evaluation
+
+// Trial records one evaluated point.
+type Trial struct {
+	Index [arch.NumParams]int
+	Evaluation
+}
+
+// Result is a completed study.
+type Result struct {
+	// Best is the best feasible trial (Feasible=false if none was found).
+	Best Trial
+	// History holds every trial in evaluation order.
+	History []Trial
+}
+
+// BestSoFar returns the running-best objective value after each trial
+// (NaN until the first feasible trial) — the Figure 11 convergence curve.
+func (r Result) BestSoFar() []float64 {
+	out := make([]float64, len(r.History))
+	best := math.NaN()
+	for i, t := range r.History {
+		if t.Feasible && (math.IsNaN(best) || t.Value > best) {
+			best = t.Value
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// FeasibleRate returns the fraction of feasible trials.
+func (r Result) FeasibleRate() float64 {
+	if len(r.History) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range r.History {
+		if t.Feasible {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.History))
+}
+
+// Algorithm names the optimizer families (Figure 11).
+type Algorithm string
+
+const (
+	// AlgRandom is uniform random sampling.
+	AlgRandom Algorithm = "random"
+	// AlgLCS is Linear Combination Swarm.
+	AlgLCS Algorithm = "lcs"
+	// AlgBayes is the surrogate-model (Bayesian) optimizer, Vizier's
+	// default family.
+	AlgBayes Algorithm = "bayesian"
+)
+
+// Run executes `trials` evaluations of obj with the chosen algorithm and
+// deterministic seed.
+func Run(alg Algorithm, obj Objective, trials int, seed int64) Result {
+	switch alg {
+	case AlgLCS:
+		return LCS(obj, trials, seed)
+	case AlgBayes:
+		return Bayesian(obj, trials, seed)
+	default:
+		return Random(obj, trials, seed)
+	}
+}
+
+// observe folds a trial into the result.
+func observe(res *Result, t Trial) {
+	res.History = append(res.History, t)
+	if t.Feasible && (!res.Best.Feasible || t.Value > res.Best.Value) {
+		res.Best = t
+	}
+}
+
+// Random samples the space uniformly.
+func Random(obj Objective, trials int, seed int64) Result {
+	r := rand.New(rand.NewSource(seed))
+	dims := arch.Space{}.Dims()
+	var res Result
+	for i := 0; i < trials; i++ {
+		var idx [arch.NumParams]int
+		for d, card := range dims {
+			idx[d] = r.Intn(card)
+		}
+		res.History = append(res.History, Trial{Index: idx})
+		t := &res.History[len(res.History)-1]
+		t.Evaluation = obj(idx)
+		if t.Feasible && (!res.Best.Feasible || t.Value > res.Best.Value) {
+			res.Best = *t
+		}
+	}
+	return res
+}
+
+// mutate returns a copy of idx with each coordinate re-sampled with
+// probability p (at least one coordinate always changes).
+func mutate(r *rand.Rand, idx [arch.NumParams]int, p float64) [arch.NumParams]int {
+	dims := arch.Space{}.Dims()
+	out := idx
+	changed := false
+	for d, card := range dims {
+		if r.Float64() < p {
+			out[d] = r.Intn(card)
+			changed = true
+		}
+	}
+	if !changed {
+		d := r.Intn(arch.NumParams)
+		// Force a genuinely different value.
+		v := r.Intn(dims[d] - 1)
+		if v >= out[d] {
+			v++
+		}
+		out[d] = v
+	}
+	return out
+}
+
+// newRand returns a deterministic rand for tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/models"
+	"fast/internal/power"
+)
+
+func TestEnergyPositiveAndBelowTDP(t *testing.T) {
+	// Sustained power implied by the energy model must sit below the
+	// power-virus TDP on every reference design (TDP assumes 100%
+	// simultaneous component activity; real workloads cannot exceed it).
+	m := power.Default()
+	e := power.DefaultEnergy()
+	for _, pair := range []struct {
+		cfg  *arch.Config
+		opts Options
+	}{
+		{arch.TPUv3(), BaselineOptions()},
+		{arch.FASTLarge(), FASTOptions()},
+		{arch.FASTSmall(), FASTOptions()},
+	} {
+		for _, w := range []string{"efficientnet-b7", "resnet50", "bert-1024"} {
+			g := models.MustBuild(w, pair.cfg.NativeBatch)
+			r, err := Simulate(g, pair.cfg, pair.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ej := r.EnergyPerInference(m, e)
+			if ej <= 0 {
+				t.Fatalf("%s on %s: energy %f", w, pair.cfg.Name, ej)
+			}
+			avg := r.AveragePowerW(m, e)
+			if avg <= 0 || avg > r.TDPWatts {
+				t.Errorf("%s on %s: average power %.1f W outside (0, TDP=%.1f]",
+					w, pair.cfg.Name, avg, r.TDPWatts)
+			}
+		}
+	}
+}
+
+func TestFusionSavesEnergy(t *testing.T) {
+	// Removing DRAM round trips must cut energy per inference.
+	m := power.Default()
+	e := power.DefaultEnergy()
+	cfg := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b7", cfg.NativeBatch)
+	fused, err := Simulate(g, cfg, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := FASTOptions()
+	opts.Fusion.Disable = true
+	unfused, err := Simulate(g, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.EnergyPerInference(m, e) >= unfused.EnergyPerInference(m, e) {
+		t.Errorf("fusion must save energy: %.4g >= %.4g J",
+			fused.EnergyPerInference(m, e), unfused.EnergyPerInference(m, e))
+	}
+}
+
+func TestEnergyScalesWithModelSize(t *testing.T) {
+	m := power.Default()
+	e := power.DefaultEnergy()
+	cfg := arch.FASTLarge()
+	energy := func(w string) float64 {
+		g := models.MustBuild(w, cfg.NativeBatch)
+		r, err := Simulate(g, cfg, FASTOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.EnergyPerInference(m, e)
+	}
+	if energy("efficientnet-b7") <= energy("efficientnet-b0") {
+		t.Error("B7 must cost more energy per inference than B0")
+	}
+}
+
+func TestHBMEnergyAdvantage(t *testing.T) {
+	// At similar bandwidth, HBM's pJ/byte advantage must show in the
+	// activity-level DRAM energy.
+	m := power.Default()
+	e := power.DefaultEnergy()
+	a := power.Activity{DRAMBytes: 1e9, Seconds: 1e-3}
+	g := arch.FASTLarge()
+	h := g.Clone("hbm")
+	h.Mem = arch.HBM2
+	h.MemChannels = 2
+	gd := m.Energy(g, e, a) - e.StaticFraction*m.TDP(g)*a.Seconds
+	hb := m.Energy(h, e, a) - e.StaticFraction*m.TDP(h)*a.Seconds
+	if hb >= gd {
+		t.Errorf("HBM dynamic DRAM energy %.4g should be below GDDR6 %.4g", hb, gd)
+	}
+}

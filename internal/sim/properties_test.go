@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/models"
+)
+
+// TestSimInvariantsOnRandomDesigns drives the full pipeline with random
+// feasible designs and checks structural invariants the analytical model
+// must never violate.
+func TestSimInvariantsOnRandomDesigns(t *testing.T) {
+	s := arch.Space{}
+	r := rand.New(rand.NewSource(31))
+	workloads := []string{"efficientnet-b0", "resnet50", "bert-128", "mobilenetv2"}
+	checked := 0
+	for i := 0; i < 120 && checked < 40; i++ {
+		cfg := s.Random(r, arch.FASTLarge())
+		w := workloads[i%len(workloads)]
+		g := models.MustBuild(w, cfg.NativeBatch)
+		res, err := Simulate(g, cfg, FASTOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ScheduleFailed {
+			continue
+		}
+		checked++
+
+		// QPS × latency ≡ cores × batch.
+		if got := res.QPS * res.LatencySec; math.Abs(got-float64(cfg.Cores*cfg.NativeBatch)) > 1e-6*got {
+			t.Fatalf("%s on %s: QPS·latency = %f, want %d", w, cfg.Name, got, cfg.Cores*cfg.NativeBatch)
+		}
+		// Utilization and stalls bounded.
+		if res.Utilization <= 0 || res.Utilization > 1+1e-9 {
+			t.Fatalf("%s: utilization %f out of (0,1]", w, res.Utilization)
+		}
+		for _, v := range []float64{res.MemStallPre, res.MemStallPost} {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("%s: stall %f out of [0,1]", w, v)
+			}
+		}
+		// Fusion respects GM capacity and never increases traffic.
+		if res.Fusion.GMUsedPeak > cfg.GlobalBytes() {
+			t.Fatalf("%s: fusion exceeded GM: %d > %d", w, res.Fusion.GMUsedPeak, cfg.GlobalBytes())
+		}
+		for ri, rs := range res.Regions {
+			if rs.DRAMBytesPost > rs.DRAMBytesPre {
+				t.Fatalf("%s region %d: post traffic %d > pre %d", w, ri, rs.DRAMBytesPost, rs.DRAMBytesPre)
+			}
+			if rs.SecPost > rs.SecPre+1e-12 {
+				t.Fatalf("%s region %d: fusion slowed the region", w, ri)
+			}
+			if rs.SecPost < rs.ComputeSec-1e-12 {
+				t.Fatalf("%s region %d: time below the compute floor", w, ri)
+			}
+		}
+		// Intensity can only improve.
+		if res.OpIntensityPost < res.OpIntensityPre-1e-9 {
+			t.Fatalf("%s: fusion lowered op intensity", w)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d feasible designs out of 120 random draws; feasibility too rare", checked)
+	}
+}
+
+// TestMoreBandwidthNeverHurts checks roofline monotonicity: raising DRAM
+// channels (all else fixed) must not increase latency.
+func TestMoreBandwidthNeverHurts(t *testing.T) {
+	base := arch.FASTLarge().Clone("bw")
+	g := models.MustBuild("efficientnet-b7", base.NativeBatch)
+	prev := math.Inf(1)
+	for _, ch := range []int64{1, 2, 4, 8} {
+		cfg := base.Clone("bw")
+		cfg.MemChannels = ch
+		r, err := Simulate(g, cfg, FASTOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LatencySec > prev*(1+1e-9) {
+			t.Fatalf("latency rose with bandwidth at %d channels", ch)
+		}
+		prev = r.LatencySec
+	}
+}
+
+// TestMoreGlobalMemoryNeverHurtsLatency checks the fusion axis: a larger
+// GM gives the solver a superset of placements.
+func TestMoreGlobalMemoryNeverHurtsLatency(t *testing.T) {
+	base := arch.FASTLarge().Clone("gm")
+	g := models.MustBuild("efficientnet-b7", base.NativeBatch)
+	prev := math.Inf(1)
+	for _, gm := range []int64{0, 8, 32, 128, 256} {
+		cfg := base.Clone("gm")
+		cfg.GlobalMiB = gm
+		r, err := Simulate(g, cfg, FASTOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LatencySec > prev*(1+0.01) {
+			t.Fatalf("latency rose >1%% when GM grew to %d MiB: %.4g > %.4g", gm, r.LatencySec, prev)
+		}
+		if r.LatencySec < prev {
+			prev = r.LatencySec
+		}
+	}
+}
+
+// TestBiggerBatchAmortizes checks that per-query latency cost of batch is
+// sublinear: doubling batch must not double latency on a throughput
+// design (there is always some batch-parallel work).
+func TestBiggerBatchAmortizes(t *testing.T) {
+	cfg := arch.FASTSmall()
+	for _, w := range []string{"resnet50", "bert-128"} {
+		l := map[int64]float64{}
+		for _, b := range []int64{1, 8, 64} {
+			c := cfg.Clone("batch")
+			c.NativeBatch = b
+			g := models.MustBuild(w, b)
+			r, err := Simulate(g, c, FASTOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			l[b] = r.LatencySec
+		}
+		if l[64] >= 64*l[1] {
+			t.Errorf("%s: batch 64 latency %.4g not sublinear vs batch 1 %.4g", w, l[64], l[1])
+		}
+		if l[8] <= l[1] {
+			t.Errorf("%s: bigger batches must take longer per batch", w)
+		}
+	}
+}
+
+// TestDualCoreDoublesThroughput checks the multi-core model: cores
+// replicate throughput at equal per-core latency.
+func TestDualCoreDoublesThroughput(t *testing.T) {
+	one := arch.FASTLarge().Clone("one")
+	two := one.Clone("two")
+	two.Cores = 2
+	g := models.MustBuild("efficientnet-b0", one.NativeBatch)
+	r1, err := Simulate(g, one, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(g, two, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.QPS-2*r1.QPS) > 1e-6*r1.QPS {
+		t.Errorf("dual core QPS %f, want %f", r2.QPS, 2*r1.QPS)
+	}
+	if math.Abs(r2.LatencySec-r1.LatencySec) > 1e-9 {
+		t.Errorf("per-core latency changed with core count")
+	}
+	if r2.TDPWatts <= r1.TDPWatts {
+		t.Errorf("second core is not free")
+	}
+}

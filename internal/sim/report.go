@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"sort"
+	"strings"
+
+	"fast/internal/hlo"
+	"fast/internal/power"
+)
+
+// OpTime is an op's share of post-fusion execution time: its region's
+// time distributed proportionally to intrinsic op costs.
+type OpTime struct {
+	Op  *hlo.Op
+	Sec float64
+}
+
+// OpTimes attributes the simulated execution time to individual ops.
+func (r *Result) OpTimes() []OpTime {
+	var out []OpTime
+	for _, rs := range r.Regions {
+		var intrinsic float64
+		for _, s := range rs.Shares {
+			intrinsic += s.IntrinsicSec
+		}
+		for _, s := range rs.Shares {
+			sec := 0.0
+			switch {
+			case intrinsic > 0:
+				sec = rs.SecPost * s.IntrinsicSec / intrinsic
+			case len(rs.Shares) > 0:
+				sec = rs.SecPost / float64(len(rs.Shares))
+			}
+			out = append(out, OpTime{Op: s.Op, Sec: sec})
+		}
+	}
+	return out
+}
+
+// ClassBreakdown aggregates runtime and FLOP shares by op class name
+// (Table 2). Classes: "DepthwiseConv2dNative", "Conv2D", "Other" for
+// CNNs; callers can use ClassifyBERT for the Figure 5 classes.
+type ClassBreakdown struct {
+	Class        string
+	FLOPShare    float64
+	RuntimeShare float64
+}
+
+// ByClass groups op time by classify(op) and returns rows sorted by
+// runtime share (descending).
+func (r *Result) ByClass(classify func(*hlo.Op) string) []ClassBreakdown {
+	timeBy := map[string]float64{}
+	flopBy := map[string]float64{}
+	var totalT, totalF float64
+	for _, ot := range r.OpTimes() {
+		c := classify(ot.Op)
+		timeBy[c] += ot.Sec
+		flopBy[c] += float64(hlo.FLOPs(ot.Op))
+		totalT += ot.Sec
+		totalF += float64(hlo.FLOPs(ot.Op))
+	}
+	var out []ClassBreakdown
+	for c := range timeBy {
+		row := ClassBreakdown{Class: c}
+		if totalT > 0 {
+			row.RuntimeShare = timeBy[c] / totalT
+		}
+		if totalF > 0 {
+			row.FLOPShare = flopBy[c] / totalF
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RuntimeShare > out[j].RuntimeShare })
+	return out
+}
+
+// ClassifyCNN implements the Table 2 classes.
+func ClassifyCNN(op *hlo.Op) string {
+	switch op.Kind {
+	case hlo.KDepthwiseConv2D:
+		return "DepthwiseConv2dNative"
+	case hlo.KConv2D:
+		return "Conv2D"
+	default:
+		return "Other"
+	}
+}
+
+// ClassifyBERT implements the Figure 5 classes by op-name substring:
+// QKV projection, softmax, self-attention einsums, feed-forward, other.
+func ClassifyBERT(op *hlo.Op) string {
+	switch {
+	case strings.Contains(op.Name, "qkv"):
+		return "QKV projection"
+	case strings.Contains(op.Name, "attn.softmax"):
+		return "Softmax"
+	case strings.Contains(op.Name, "attn.scores"), strings.Contains(op.Name, "attn.context"):
+		return "Self-attention"
+	case strings.Contains(op.Name, "ffn"):
+		return "Feed-forward"
+	default:
+		return "Other"
+	}
+}
+
+// BlockUtilization is a model block's fraction-of-peak-FLOPs (Figures 4
+// and 14).
+type BlockUtilization struct {
+	Block string
+	// Utilization is block FLOPs / (block time × per-core peak FLOPs).
+	Utilization float64
+	Sec         float64
+	FLOPs       int64
+}
+
+// ByBlock aggregates utilization per model block in first-appearance
+// order.
+func (r *Result) ByBlock() []BlockUtilization {
+	peak := r.Config.PeakFLOPs() / float64(r.Config.Cores)
+	idx := map[string]int{}
+	var out []BlockUtilization
+	for _, ot := range r.OpTimes() {
+		b := ot.Op.Block
+		i, ok := idx[b]
+		if !ok {
+			i = len(out)
+			idx[b] = i
+			out = append(out, BlockUtilization{Block: b})
+		}
+		out[i].Sec += ot.Sec
+		out[i].FLOPs += hlo.FLOPs(ot.Op)
+	}
+	for i := range out {
+		if out[i].Sec > 0 && peak > 0 {
+			out[i].Utilization = float64(out[i].FLOPs) / (out[i].Sec * peak)
+		}
+	}
+	return out
+}
+
+// ByClassRegion groups runtime the way a production profiler does
+// (Table 2): each region's overlapped time is attributed to the region's
+// primary op (its matrix op, or the op with the largest intrinsic cost),
+// while serialized reductions (softmax, layernorm) keep their own class.
+func (r *Result) ByClassRegion(classify func(*hlo.Op) string) []ClassBreakdown {
+	timeBy := map[string]float64{}
+	flopBy := map[string]float64{}
+	var totalT, totalF float64
+	for _, rs := range r.Regions {
+		var primary *hlo.Op
+		var bestIntrinsic float64
+		var serialT, intrinsicT float64
+		for _, s := range rs.Shares {
+			intrinsicT += s.IntrinsicSec
+			if isSerialVec(s.Op.Kind) {
+				serialT += s.IntrinsicSec
+				continue
+			}
+			if s.Op.Kind.IsMatrix() && (primary == nil || !primary.Kind.IsMatrix()) {
+				primary = s.Op
+				bestIntrinsic = s.IntrinsicSec
+			} else if (primary == nil || !primary.Kind.IsMatrix()) && s.IntrinsicSec >= bestIntrinsic {
+				primary = s.Op
+				bestIntrinsic = s.IntrinsicSec
+			}
+		}
+		for _, s := range rs.Shares {
+			flopBy[classify(s.Op)] += float64(hlo.FLOPs(s.Op))
+			totalF += float64(hlo.FLOPs(s.Op))
+		}
+		if primary == nil && len(rs.Shares) > 0 {
+			primary = rs.Shares[0].Op
+		}
+		if primary == nil {
+			continue
+		}
+		serialShare := 0.0
+		if intrinsicT > 0 {
+			serialShare = serialT / intrinsicT
+		}
+		for _, s := range rs.Shares {
+			if isSerialVec(s.Op.Kind) && serialT > 0 {
+				timeBy[classify(s.Op)] += rs.SecPost * serialShare * s.IntrinsicSec / serialT
+			}
+		}
+		timeBy[classify(primary)] += rs.SecPost * (1 - serialShare)
+		totalT += rs.SecPost
+	}
+	var out []ClassBreakdown
+	for c := range timeBy {
+		row := ClassBreakdown{Class: c}
+		if totalT > 0 {
+			row.RuntimeShare = timeBy[c] / totalT
+		}
+		if totalF > 0 {
+			row.FLOPShare = flopBy[c] / totalF
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RuntimeShare > out[j].RuntimeShare })
+	return out
+}
+
+// ActivitySummary aggregates the run's activity counters for the energy
+// model: MACs, vector ops (approximated as non-matrix FLOPs), post-fusion
+// DRAM traffic, and an SRAM-traffic estimate (each DRAM byte is staged
+// through the Global Memory once, and each MAC reads one operand pair
+// amortized by the systolic reuse factor).
+func (r *Result) ActivitySummary() power.Activity {
+	var macs, vec, dram float64
+	for _, rs := range r.Regions {
+		for _, s := range rs.Shares {
+			f := float64(hlo.FLOPs(s.Op))
+			if s.Op.Kind.IsMatrix() {
+				macs += f / 2
+			} else {
+				vec += f
+			}
+		}
+		dram += float64(rs.DRAMBytesPost)
+	}
+	// Systolic arrays reuse a latched operand across the whole stream, so
+	// SRAM operand traffic per MAC is far below 2 reads; approximate the
+	// reuse with the array's smaller dimension.
+	reuse := float64(r.Config.SAx)
+	if float64(r.Config.SAy) < reuse {
+		reuse = float64(r.Config.SAy)
+	}
+	if reuse < 1 {
+		reuse = 1
+	}
+	elemBytes := 2.0
+	sram := macs*2*elemBytes/reuse + 2*dram
+	return power.Activity{
+		MACs: macs, VectorOps: vec, DRAMBytes: dram, SRAMBytes: sram,
+		Seconds: r.LatencySec,
+	}
+}
+
+// EnergyPerInference estimates Joules per inference (dynamic + static)
+// with the given coefficients; AveragePowerW is the implied sustained
+// power draw.
+func (r *Result) EnergyPerInference(m *power.Model, e power.EnergyCoeffs) float64 {
+	if r.QPS <= 0 {
+		return 0
+	}
+	batchEnergy := m.Energy(r.Config, e, r.ActivitySummary())
+	return batchEnergy * float64(r.Config.Cores) / (r.QPS * r.LatencySec)
+}
+
+// AveragePowerW is the sustained power implied by the energy model; it
+// should sit below the power-virus TDP for any real workload.
+func (r *Result) AveragePowerW(m *power.Model, e power.EnergyCoeffs) float64 {
+	return r.EnergyPerInference(m, e) * r.QPS
+}

@@ -1,0 +1,445 @@
+// Package sim is the architectural simulator: it maps an HLO graph onto a
+// datapath configuration and reports execution time, throughput,
+// utilization, operational intensity, memory stalls, and Perf/TDP.
+//
+// Per §6.1, the pipeline per fusion region is: tensor-padding pre-pass →
+// schedule mapping (internal/mapping, the Timeloop equivalent) for matrix
+// ops and VPU cost models for everything else → FAST fusion ILP over the
+// per-region statistics → final roofline-with-overlap timing. Designs
+// with any unmappable op are invalid (ScheduleFailures = 0 constraint).
+package sim
+
+import (
+	"fmt"
+
+	"fast/internal/arch"
+	"fast/internal/fusion"
+	"fast/internal/hlo"
+	"fast/internal/mapping"
+	"fast/internal/power"
+	"fast/internal/vpu"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// TwoPassSoftmax enables the §5.6 algorithm (searched as a FAST
+	// hyperparameter). AutoSoftmax lets the simulator pick the faster
+	// variant per graph.
+	TwoPassSoftmax bool
+	AutoSoftmax    bool
+	// Fusion configures the FAST fusion pass (Disable for ablations).
+	Fusion fusion.Options
+	// Mapping configures the schedule mapper.
+	Mapping mapping.Options
+	// PartitionNone disables XLA fusion regions (every op its own
+	// region) for ablation studies.
+	PartitionNone bool
+	// Training enables the training-step model (see training.go): 3x
+	// matrix work, 2x vector work, activations preserved to DRAM for the
+	// backward pass (no activation-edge fusion), gradient traffic added.
+	Training bool
+	// WholeTensorFusion reproduces the paper's conservative Fig. 8
+	// assumption that entire tensors occupy Global Memory while resident
+	// (§5.5). Default false: the scheduler applies inter-op blocking, so
+	// an edge's residency is its per-sample slice.
+	WholeTensorFusion bool
+	// DepthwiseOnVPU models the production XLA-TPU lowering of depthwise
+	// convolutions to the vector unit instead of the systolic array (the
+	// baseline behaviour §3.2 describes as mapping poorly; FAST's
+	// schedule search replaces it with the 1-D systolic mapping). The
+	// 0.20 efficiency derating reproduces the effective ~1.1% of chip
+	// peak that Table 2's FLOP/runtime shares imply for TPU-v3.
+	DepthwiseOnVPU bool
+	// PowerModel overrides the default power/area model.
+	PowerModel *power.Model
+}
+
+// OpShare records one op's intrinsic (pre-overlap) cost inside its
+// region, used to attribute region time to ops for per-op reports.
+type OpShare struct {
+	Op *hlo.Op
+	// IntrinsicSec is the op's standalone compute time plus its share of
+	// algorithm-mandated DRAM time.
+	IntrinsicSec float64
+}
+
+// RegionStats carries per-region simulation results.
+type RegionStats struct {
+	Region     *hlo.Region
+	ComputeSec float64
+	Shares     []OpShare
+	// ExtraBytes is mapper re-read + softmax-pass traffic beyond the
+	// boundary tensors.
+	ExtraBytes int64
+	// DRAMBytesPre is the region's DRAM traffic before FAST fusion
+	// (boundary tensors + weights + mapper re-read floor + softmax
+	// passes).
+	DRAMBytesPre int64
+	// DRAMBytesPost is the traffic after fusion placements.
+	DRAMBytesPost int64
+	// SecPre/SecPost are the region times before/after fusion.
+	SecPre, SecPost float64
+	FLOPs           int64
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Graph  *hlo.Graph
+	Config *arch.Config
+
+	Regions []RegionStats
+	Fusion  fusion.Solution
+
+	// LatencySec is the time for one batch through one core.
+	LatencySec float64
+	// QPS is aggregate inferences/s across cores.
+	QPS float64
+	// Utilization is model FLOPs / (latency × per-core peak FLOPs).
+	Utilization float64
+	// OpIntensityPre/Post are FLOPs per DRAM byte before/after fusion.
+	OpIntensityPre, OpIntensityPost float64
+	// MemStallPre/Post are the fractions of execution time stalled on
+	// DRAM (§6.2.5 "Pre-fusion Mem Stall %").
+	MemStallPre, MemStallPost float64
+	// FusionEfficiency is the fraction of pre-fusion stall time removed
+	// by fusion (Table 5 "Fusion Efficiency").
+	FusionEfficiency float64
+
+	// TDPWatts and AreaMM2 come from the analytical power model.
+	TDPWatts float64
+	AreaMM2  float64
+	// PerfPerTDP is QPS per watt.
+	PerfPerTDP float64
+
+	// ScheduleFailed marks an invalid design (Eq. 5); FailReason explains.
+	ScheduleFailed bool
+	FailReason     string
+
+	// SoftmaxAlgorithm records the variant used.
+	SoftmaxAlgorithm vpu.SoftmaxAlgorithm
+}
+
+// BaselineOptions models the production TPU-v3 software stack the paper
+// baselines against: XLA fusion regions but no FAST fusion, and only the
+// classic weight-/output-stationary mapping schemes (no 1-D convolution
+// column streaming — the schedule improvement FAST's Timeloop search
+// discovers, Figure 15's "scheduling" component).
+func BaselineOptions() Options {
+	return Options{
+		Fusion: fusion.Options{Disable: true},
+		Mapping: mapping.Options{
+			Schemes: []mapping.Scheme{mapping.WeightStationary, mapping.OutputStationary},
+		},
+		DepthwiseOnVPU: true,
+	}
+}
+
+// FASTOptions is the full FAST software stack: all mapping schemes,
+// fusion with a greedy-incumbent solve (suitable inside search loops),
+// and automatic softmax-algorithm selection.
+func FASTOptions() Options {
+	return Options{
+		AutoSoftmax: true,
+		Fusion:      fusion.Options{GreedyOnly: true},
+	}
+}
+
+// Simulate runs the full pipeline for graph g (built at any batch; it is
+// rebatched to cfg.NativeBatch by the caller when desired) on cfg.
+func Simulate(g *hlo.Graph, cfg *arch.Config, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.AutoSoftmax {
+		a := simulate(g, cfg, opts, vpu.ThreePass)
+		b := simulate(g, cfg, opts, vpu.TwoPass)
+		if !b.ScheduleFailed && (a.ScheduleFailed || b.LatencySec < a.LatencySec) {
+			return b, nil
+		}
+		return a, nil
+	}
+	alg := vpu.ThreePass
+	if opts.TwoPassSoftmax {
+		alg = vpu.TwoPass
+	}
+	return simulate(g, cfg, opts, alg), nil
+}
+
+func simulate(g *hlo.Graph, cfg *arch.Config, opts Options, alg vpu.SoftmaxAlgorithm) *Result {
+	res := &Result{Graph: g, Config: cfg, SoftmaxAlgorithm: alg}
+
+	var part *hlo.Partition
+	if opts.PartitionNone {
+		part = hlo.PartitionNone(g)
+	} else {
+		part = hlo.PartitionXLA(g)
+	}
+
+	perCoreBW := cfg.PeakBandwidthGBs() * 1e9 / float64(cfg.Cores)
+	clock := cfg.ClockGHz * 1e9
+
+	// Effective blocking capacity for the mapper's traffic floor: the
+	// largest on-chip level available for working tiles.
+	capBytes := cfg.GlobalBytes()
+	if capBytes == 0 {
+		capBytes = cfg.NumPEs() * cfg.L2BytesPerPE()
+	}
+	if capBytes == 0 {
+		capBytes = cfg.NumPEs() * cfg.L1BytesPerPE()
+	}
+
+	mapCache := make(map[mapping.Problem]mapping.Mapping)
+
+	regionOrder := part.Regions
+	costs := make([]fusion.RegionCost, len(regionOrder))
+	stats := make([]RegionStats, len(regionOrder))
+	var totalFLOPs, matrixFLOPs int64
+
+	for ri, r := range regionOrder {
+		io := part.IO(r)
+		// Matrix ops stream through the systolic arrays while the VPUs
+		// post-process elementwise results in the same region, so those
+		// phases overlap: compute = max(matrix, elementwise) + serial,
+		// where full reductions (softmax, layernorm, global pooling)
+		// cannot start until their producer finishes and are serialized.
+		var matrixSec, vectorSec, serialSec float64
+		var extraBytes int64
+		pinnable := true
+		shares := make([]OpShare, 0, len(r.Ops))
+
+		for _, op := range r.Ops {
+			var opSec float64
+			var opExtra int64
+			if opts.DepthwiseOnVPU && op.Kind == hlo.KDepthwiseConv2D {
+				// One MAC per lane-cycle, derated for windowed access.
+				const dwVPUEff = 0.20
+				macs := float64(hlo.FLOPs(op)) / 2
+				opSec = vpu.Time(macs/dwVPUEff, cfg)
+				vectorSec += opSec
+			} else if p, ok := mapping.FromOp(op); ok {
+				m, hit := mapCache[p]
+				if !hit {
+					m = mapping.Best(p, cfg, opts.Mapping)
+					mapCache[p] = m
+				}
+				if m.Failed {
+					res.ScheduleFailed = true
+					res.FailReason = fmt.Sprintf("op %q: %s", op.Name, m.Reason)
+					return res
+				}
+				opSec = m.Cycles / clock
+				opExtra = mapping.TrafficFloor(p, capBytes) -
+					(p.ActivationBytes() + p.StationaryBytes() + p.OutputBytes())
+				if !p.WeightsStationary {
+					pinnable = false
+				}
+				matrixSec += opSec
+				if op.Kind == hlo.KLSTMCell {
+					gates := vpu.Time(vpu.LSTMGateOps(op), cfg)
+					vectorSec += gates
+					opSec += gates
+				}
+			} else {
+				softmaxFits := true
+				if op.Kind == hlo.KSoftmax {
+					// A standalone softmax kernel round-trips its whole
+					// tensor per pass unless the tensor itself stays on
+					// chip between passes.
+					softmaxFits = op.Output.Bytes()*2 <= capBytes
+				}
+				c := vpu.OpCost(op, alg, softmaxFits)
+				opSec = vpu.Time(c.VectorOps, cfg)
+				opExtra = c.ExtraDRAMBytes
+				if isSerialVec(op.Kind) {
+					serialSec += opSec
+				} else {
+					vectorSec += opSec
+				}
+			}
+			extraBytes += opExtra
+			shares = append(shares, OpShare{Op: op, IntrinsicSec: opSec + float64(opExtra)/perCoreBW})
+		}
+		if opts.Training {
+			var trainBytes int64
+			matrixSec, vectorSec, serialSec, trainBytes = trainingAdjust(matrixSec, vectorSec, serialSec, io, extraBytes)
+			// Rebuild the IO view the fusion costs below will see.
+			extraBytes = trainBytes - io.InputBytes - io.OutputBytes - io.WeightBytes
+		}
+		computeSec := maxf(matrixSec, vectorSec) + serialSec
+		// Attribute overlapped elementwise time at its residual share so
+		// per-op reports match what the timeline charges.
+		if matrixSec > 0 && vectorSec > 0 {
+			factor := 0.0
+			if vectorSec > matrixSec {
+				factor = (vectorSec - matrixSec) / vectorSec
+			}
+			for si := range shares {
+				op := shares[si].Op
+				if !op.Kind.IsMatrix() && !isSerialVec(op.Kind) {
+					shares[si].IntrinsicSec *= factor
+				}
+			}
+		}
+		if io.WeightBytes == 0 {
+			pinnable = false
+		}
+
+		dramPre := io.InputBytes + io.OutputBytes + io.WeightBytes + extraBytes
+		tMax := maxf(computeSec, float64(dramPre)/perCoreBW)
+		// With every boundary tensor on chip the activation re-read
+		// extras disappear too; the floor is pure compute.
+		tMin := computeSec
+
+		edgeProducer, edgeBytes, edgeSole := primaryEdge(part, r)
+		if opts.Training {
+			// Intermediates must persist for the backward pass: activation
+			// edges cannot be kept on chip.
+			edgeProducer, edgeBytes, edgeSole = -1, 0, false
+		}
+		// Inter-op blocking: adjacent regions stream the edge tensor one
+		// batch sample at a time, so GM residency is the per-sample slice.
+		resident := edgeBytes
+		if nb := g.NativeBatch(); nb > 1 && edgeBytes > 0 && !opts.WholeTensorFusion {
+			resident = edgeBytes / nb
+		}
+		costs[ri] = fusion.RegionCost{
+			TMin: tMin, TMax: tMax,
+			TWeight: float64(io.WeightBytes) / perCoreBW,
+			DWeight: io.WeightBytes, PinnableWeights: pinnable,
+			EdgeProducer:      edgeProducer,
+			EdgeBytes:         edgeBytes,
+			EdgeResidentBytes: resident,
+			// The consumer-side read saving carries the mapper/softmax
+			// extras (they are re-reads of the same activations).
+			TEdgeRead: float64(edgeBytes+extraBytes) / perCoreBW,
+		}
+		if edgeSole {
+			// The producer's DRAM write is saved too when this region is
+			// the tensor's only external consumer.
+			costs[ri].TEdgeWrite = float64(edgeBytes) / perCoreBW
+		}
+		stats[ri] = RegionStats{
+			Region: r, ComputeSec: computeSec, Shares: shares,
+			ExtraBytes:   extraBytes,
+			DRAMBytesPre: dramPre, SecPre: tMax, FLOPs: io.FLOPs,
+		}
+		totalFLOPs += io.FLOPs
+		matrixFLOPs += io.MatrixFLOPs
+	}
+
+	sol := fusion.Optimize(costs, cfg.GlobalBytes(), opts.Fusion)
+	res.Fusion = sol
+
+	// Post-fusion DRAM traffic per region.
+	for ri := range stats {
+		b := stats[ri].DRAMBytesPre
+		if sol.PinWeight[ri] {
+			b -= costs[ri].DWeight
+		}
+		if sol.EdgeOnChip[ri] {
+			b -= costs[ri].EdgeBytes + stats[ri].ExtraBytes
+			if costs[ri].TEdgeWrite > 0 {
+				p := costs[ri].EdgeProducer
+				stats[p].DRAMBytesPost -= costs[ri].EdgeBytes
+			}
+		}
+		stats[ri].DRAMBytesPost += b
+	}
+	var latency, preLatency, computeTotal float64
+	var bytesPre, bytesPost int64
+	for ri := range stats {
+		if stats[ri].DRAMBytesPost < 0 {
+			stats[ri].DRAMBytesPost = 0
+		}
+		post := sol.Times[ri]
+		stats[ri].SecPost = post
+		latency += post
+		preLatency += stats[ri].SecPre
+		computeTotal += stats[ri].ComputeSec
+		bytesPre += stats[ri].DRAMBytesPre
+		bytesPost += stats[ri].DRAMBytesPost
+	}
+	res.Regions = stats
+	res.LatencySec = latency
+	if latency > 0 {
+		res.QPS = float64(cfg.Cores) * float64(g.NativeBatch()) / latency
+		// Fraction of peak FLOPS, measured against the systolic arrays
+		// (the paper's metric): vector-unit work is excluded so the ratio
+		// is bounded by 1 on any datapath.
+		res.Utilization = float64(matrixFLOPs) / (latency * cfg.PeakFLOPs() / float64(cfg.Cores))
+	}
+	if bytesPre > 0 {
+		res.OpIntensityPre = float64(totalFLOPs) / float64(bytesPre)
+	}
+	if bytesPost > 0 {
+		res.OpIntensityPost = float64(totalFLOPs) / float64(bytesPost)
+	}
+	if preLatency > 0 {
+		res.MemStallPre = (preLatency - computeTotal) / preLatency
+	}
+	if latency > 0 {
+		res.MemStallPost = (latency - computeTotal) / latency
+	}
+	if stall := preLatency - computeTotal; stall > 0 {
+		res.FusionEfficiency = (preLatency - latency) / stall
+	}
+
+	pm := opts.PowerModel
+	if pm == nil {
+		pm = power.Default()
+	}
+	eval := pm.Evaluate(cfg)
+	res.TDPWatts = eval.TotalPower()
+	res.AreaMM2 = eval.TotalArea()
+	if res.TDPWatts > 0 {
+		res.PerfPerTDP = res.QPS / res.TDPWatts
+	}
+	return res
+}
+
+// primaryEdge finds region r's largest external activation input: the
+// producing region, the tensor's bytes, and whether r is that tensor's
+// only external consumer (so the producer's DRAM write is avoidable).
+func primaryEdge(p *hlo.Partition, r *hlo.Region) (producer int, bytes int64, sole bool) {
+	producer = -1
+	var bestOp *hlo.Op
+	for _, op := range r.Ops {
+		for _, in := range op.Inputs {
+			pr := p.RegionOf(in.ID)
+			if pr >= 0 && pr != r.ID && in.Output.Bytes() > bytes {
+				producer, bytes, bestOp = pr, in.Output.Bytes(), in
+			}
+		}
+	}
+	if bestOp == nil {
+		return -1, 0, false
+	}
+	sole = true
+	for _, cid := range p.Consumers()[bestOp.ID] {
+		cr := p.RegionOf(cid)
+		if cr != producer && cr != r.ID {
+			sole = false
+			break
+		}
+	}
+	return producer, bytes, sole
+}
+
+// isSerialVec reports whether the op must wait for its full input before
+// producing output (softmax needs the row max, layernorm the moments), so
+// it cannot overlap with its producer's systolic streaming. Accumulating
+// reductions (pooling, sums) stream with their producer and stay in the
+// overlappable bucket.
+func isSerialVec(k hlo.Kind) bool {
+	return k == hlo.KSoftmax || k == hlo.KLayerNorm
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package sim
+
+// Training-mode extension.
+//
+// The paper's framework targets inference and names training support as
+// future work (§7). This file adds the analytical training-step model the
+// §4.1 discussion implies:
+//
+//   - every matrix op runs three times the forward work (forward, grad
+//     w.r.t. inputs, grad w.r.t. weights) and vector ops twice;
+//   - intermediate activations must be preserved for the backward pass,
+//     so FAST fusion may no longer discard them: activation-edge
+//     placements are disabled and every boundary tensor is written to and
+//     re-read from DRAM (§4.1: "intermediate results must be preserved
+//     for the backwards pass"); weight pinning remains legal;
+//   - weights are read again by both backward passes and a gradient of
+//     weight size is written per step.
+//
+// The returned Result reports training steps/s in QPS.
+
+import (
+	"fast/internal/arch"
+	"fast/internal/hlo"
+)
+
+// trainingMatrixScale is the matrix-op work multiplier for one training
+// step (forward + dX + dW).
+const trainingMatrixScale = 3
+
+// trainingVectorScale is the vector-op multiplier (forward + backward).
+const trainingVectorScale = 2
+
+// SimulateTraining estimates one training step of graph g on cfg. It
+// reuses the inference pipeline for mapping and utilization, then applies
+// the training work and traffic model above.
+func SimulateTraining(g *hlo.Graph, cfg *arch.Config, opts Options) (*Result, error) {
+	// Inference pass with activation-edge fusion disabled: the backward
+	// pass needs every intermediate in DRAM, so only weight pinning is
+	// negotiable. Window 0 keeps the default for the pinning decisions.
+	opts.Training = true
+	return Simulate(g, cfg, opts)
+}
+
+// trainingAdjust scales a region's compute and traffic from inference to
+// one training step. Called by simulate() when opts.Training is set.
+func trainingAdjust(matrixSec, vectorSec, serialSec float64, io hlo.RegionIO, extraBytes int64) (
+	m, v, s float64, dramBytes int64) {
+	m = matrixSec * trainingMatrixScale
+	v = vectorSec * trainingVectorScale
+	s = serialSec * trainingVectorScale
+	// Forward: inputs+outputs+weights+extras. Backward: re-read inputs
+	// and outputs (activations and incoming gradients), re-read weights
+	// twice (dX and dW passes), write a weight-sized gradient.
+	dramBytes = (io.InputBytes+io.OutputBytes)*2 + extraBytes +
+		io.WeightBytes + 2*io.WeightBytes + io.WeightBytes
+	return
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/models"
+)
+
+func TestTrainingSlowerThanInference(t *testing.T) {
+	cfg := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b0", cfg.NativeBatch)
+	inf, err := Simulate(g, cfg, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SimulateTraining(g, cfg, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ScheduleFailed || inf.ScheduleFailed {
+		t.Fatal("schedule failure")
+	}
+	// A training step does ≥3x the matrix work plus extra traffic; it
+	// must cost at least ~2.5x the inference latency.
+	if tr.LatencySec < inf.LatencySec*2.5 {
+		t.Errorf("training step %.3fms vs inference %.3fms: ratio %.2f, want ≥2.5",
+			tr.LatencySec*1e3, inf.LatencySec*1e3, tr.LatencySec/inf.LatencySec)
+	}
+}
+
+func TestTrainingDisablesActivationFusion(t *testing.T) {
+	// §4.1: intermediates must be preserved for the backward pass, so no
+	// activation edge may stay on chip; weight pinning is still allowed.
+	cfg := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b0", cfg.NativeBatch)
+	tr, err := SimulateTraining(g, cfg, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range tr.Fusion.EdgeOnChip {
+		if e {
+			t.Fatalf("training run kept activation edge %d on chip", i)
+		}
+	}
+	pins := 0
+	for _, p := range tr.Fusion.PinWeight {
+		if p {
+			pins++
+		}
+	}
+	if pins == 0 {
+		t.Error("weight pinning should remain legal in training mode")
+	}
+}
+
+func TestTrainingFusionBenefitSmaller(t *testing.T) {
+	// The fusion upside shrinks in training (only weights move on-chip),
+	// matching why the paper's fusion work targets inference.
+	cfg := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b7", cfg.NativeBatch)
+	inf, err := Simulate(g, cfg, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SimulateTraining(g, cfg, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FusionEfficiency >= inf.FusionEfficiency {
+		t.Errorf("training fusion efficiency %.2f should be below inference %.2f",
+			tr.FusionEfficiency, inf.FusionEfficiency)
+	}
+}
+
+func TestTrainingMoreMemoryBound(t *testing.T) {
+	// Activation round trips make training more bandwidth-hungry: on the
+	// same design, post-fusion memory stall must not decrease.
+	cfg := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b0", cfg.NativeBatch)
+	inf, _ := Simulate(g, cfg, FASTOptions())
+	tr, _ := SimulateTraining(g, cfg, FASTOptions())
+	if tr.MemStallPost < inf.MemStallPost-1e-9 {
+		t.Errorf("training stall %.3f below inference %.3f", tr.MemStallPost, inf.MemStallPost)
+	}
+}
