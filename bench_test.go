@@ -13,6 +13,8 @@ package fast
 // table, and the table is printed once under -v via b.Log.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"fast/internal/arch"
@@ -207,6 +209,48 @@ func BenchmarkAblationL2Enable(b *testing.B) {
 				perfPerTDP = r.PerfPerTDP
 			}
 			b.ReportMetric(perfPerTDP, "qps/W")
+		})
+	}
+}
+
+// BenchmarkSearchThroughput measures end-to-end search throughput in
+// trials/sec on the quickstart study (EfficientNet-B0, LCS, Perf/TDP)
+// at parallelism 1 vs 4 — the perf baseline for future scaling PRs.
+// Both settings explore the identical trajectory (fixed seed), so the
+// trials/s ratio isolates the worker pool's contribution; on a
+// multi-core box parallel-4 should sit well above parallel-1.
+func BenchmarkSearchThroughput(b *testing.B) {
+	const trials = 64
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			// Untimed warm-up so the first variant doesn't pay the
+			// process-wide graph-cache fills the later ones reuse.
+			if _, err := (&Study{
+				Workloads: []string{"efficientnet-b0"},
+				Objective: ObjectivePerfPerTDP,
+				Algorithm: AlgorithmLCS,
+				Trials:    trials,
+				Seed:      1,
+			}).Run(context.Background(), WithParallelism(par)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := (&Study{
+					Workloads: []string{"efficientnet-b0"},
+					Objective: ObjectivePerfPerTDP,
+					Algorithm: AlgorithmLCS,
+					Trials:    trials,
+					Seed:      1,
+				}).Run(context.Background(), WithParallelism(par))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Best == nil {
+					b.Fatal("no feasible design in the quickstart study")
+				}
+			}
+			b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
 }

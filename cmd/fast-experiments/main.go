@@ -25,6 +25,7 @@ func main() {
 		convergo = flag.Int("convergence-trials", 150, "per-curve trials for fig11")
 		repeats  = flag.Int("repeats", 3, "repeats per heuristic for fig11 (paper: 5)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		parallel = flag.Int("parallel", 0, "concurrent evaluations per search (0 = one per CPU); results are identical at any setting")
 		markdown = flag.Bool("markdown", false, "emit GitHub markdown")
 		csv      = flag.Bool("csv", false, "emit CSV (for plotting)")
 	)
@@ -35,6 +36,7 @@ func main() {
 		ConvergenceTrials: *convergo,
 		Repeats:           *repeats,
 		Seed:              *seed,
+		Parallelism:       *parallel,
 	})
 
 	ids := experiments.IDs()

@@ -3,22 +3,27 @@
 // workloads (Figure 1's outer loop) and prints the winning configuration
 // with its per-workload evaluation.
 //
+// Candidate evaluations run concurrently (-parallel); Ctrl-C cancels the
+// search gracefully and reports the best design found so far.
+//
 // Usage:
 //
 //	fast-search -workloads efficientnet-b7 -trials 500
 //	fast-search -workloads efficientnet-b7,resnet50,bert-1024 -objective perf
-//	fast-search -multi -algorithm bayesian -trials 1000 -seed 7
+//	fast-search -multi -algorithm bayesian -trials 1000 -seed 7 -parallel 8
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"fast"
-	"fast/internal/search"
 )
 
 func main() {
@@ -29,6 +34,8 @@ func main() {
 		algorithm = flag.String("algorithm", "lcs", "optimizer: random, lcs, bayesian")
 		trials    = flag.Int("trials", 300, "trial budget (paper: 5000)")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
+		parallel  = flag.Int("parallel", 0, "concurrent evaluations (0 = one per CPU)")
+		progress  = flag.Int("progress", 0, "print the running best every N trials (0 = off)")
 		latency   = flag.Float64("latency-ms", 0, "optional per-batch latency bound in ms (e.g. 15 for MLPerf)")
 		save      = flag.String("save", "", "write the best design to this JSON file")
 	)
@@ -46,25 +53,56 @@ func main() {
 	st := &fast.Study{
 		Workloads:       ws,
 		Objective:       obj,
-		Algorithm:       search.Algorithm(*algorithm),
+		Algorithm:       fast.Algorithm(*algorithm),
 		Trials:          *trials,
 		Seed:            *seed,
 		LatencyBoundSec: *latency / 1e3,
 	}
 	fmt.Printf("searching %d trials (%s, %s) over %s\n", *trials, *algorithm, *objective, strings.Join(ws, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []fast.Option{fast.WithParallelism(*parallel)}
+	if *progress > 0 {
+		n, best := 0, 0.0
+		opts = append(opts, fast.WithProgress(func(t fast.Trial) {
+			n++
+			if t.Feasible && t.Value > best {
+				best = t.Value
+			}
+			if n%*progress == 0 {
+				fmt.Fprintf(os.Stderr, "  trial %d/%d  best %.4g\n", n, *trials, best)
+			}
+		}))
+	}
+
 	t0 := time.Now()
-	res, err := st.Run()
-	if err != nil {
+	res, err := st.Run(ctx, opts...)
+	// Restore default SIGINT handling right away: a second Ctrl-C during
+	// the post-cancel reporting tail should kill the process, not be
+	// swallowed by the (now useless) cancel handler.
+	stop()
+	canceled := errors.Is(err, context.Canceled)
+	if err != nil && !canceled {
 		fmt.Fprintln(os.Stderr, "fast-search:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("done in %.1fs; %d/%d trials feasible\n\n",
-		time.Since(t0).Seconds(),
-		int(res.Search.FeasibleRate()*float64(len(res.Search.History))),
-		len(res.Search.History))
+	elapsed := time.Since(t0).Seconds()
+	done := len(res.Search.History)
+	fmt.Printf("done in %.1fs (%.1f trials/s); %d/%d trials feasible\n\n",
+		elapsed, float64(done)/elapsed,
+		int(res.Search.FeasibleRate()*float64(done)), done)
 	if res.Best == nil {
+		if canceled {
+			fmt.Printf("interrupted after %d/%d trials, before any feasible design was found\n", done, *trials)
+			os.Exit(130)
+		}
 		fmt.Println("no feasible design found — raise -trials")
 		os.Exit(1)
+	}
+	if canceled {
+		fmt.Printf("interrupted after %d/%d trials — reporting the best design so far\n\n", done, *trials)
 	}
 
 	fmt.Printf("best design (objective %.4g):\n  %s\n\n", res.BestValue, res.Best)
@@ -75,8 +113,22 @@ func main() {
 		}
 		fmt.Printf("saved to %s (run it back with: fast-sim -design-file %s)\n\n", *save, *save)
 	}
+	perWorkload := res.PerWorkload
+	if canceled {
+		// The canceled run skips the final re-simulation; do it here with
+		// the same full ILP fusion solve a completed run uses, so an
+		// interrupted report is comparable to a finished one.
+		simOpts := fast.FASTOptions()
+		simOpts.Fusion.GreedyOnly = false
+		wr, err := fast.EvaluateDesign(res.Best, ws, simOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fast-search:", err)
+			os.Exit(1)
+		}
+		perWorkload = wr
+	}
 	fmt.Printf("%-18s %10s %10s %8s %10s %9s\n", "workload", "QPS", "latency", "util", "Perf/TDP", "vs TPU-v3")
-	for _, wr := range res.PerWorkload {
+	for _, wr := range perWorkload {
 		// Baseline comparison.
 		tpu := fast.DieShrunkTPUv3()
 		bg, err := fast.BuildModel(wr.Name, tpu.NativeBatch)
@@ -93,5 +145,10 @@ func main() {
 		fmt.Printf("%-18s %10.1f %8.2fms %8.3f %10.4f %8.2fx\n",
 			wr.Name, r.QPS, r.LatencySec*1e3, r.Utilization, r.PerfPerTDP,
 			r.PerfPerTDP/base.PerfPerTDP)
+	}
+	if canceled {
+		// The report above is complete, but the search was cut short —
+		// exit 130 so scripts can tell an interrupted run from a full one.
+		os.Exit(130)
 	}
 }

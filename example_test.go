@@ -1,6 +1,7 @@
 package fast_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func ExampleStudy() {
 		Algorithm: fast.AlgorithmLCS,
 		Trials:    40,
 		Seed:      9,
-	}).Run()
+	}).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

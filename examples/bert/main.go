@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 
 func main() {
 	trials := flag.Int("trials", 150, "search trial budget")
+	parallel := flag.Int("parallel", 0, "concurrent evaluations (0 = one per CPU)")
 	flag.Parse()
 
 	// 1. Sequence-length sweep on the TPU-v3 baseline.
@@ -71,7 +73,7 @@ func main() {
 		Algorithm: fast.AlgorithmLCS,
 		Trials:    *trials,
 		Seed:      7,
-	}).Run()
+	}).Run(context.Background(), fast.WithParallelism(*parallel))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +17,7 @@ import (
 
 func main() {
 	trials := flag.Int("trials", 200, "search trial budget")
+	parallel := flag.Int("parallel", 0, "concurrent evaluations (0 = one per CPU)")
 	flag.Parse()
 
 	fmt.Printf("searching %d designs for EfficientNet-B7 (Perf/TDP objective)...\n", *trials)
@@ -25,7 +27,7 @@ func main() {
 		Algorithm: fast.AlgorithmLCS,
 		Trials:    *trials,
 		Seed:      42,
-	}).Run()
+	}).Run(context.Background(), fast.WithParallelism(*parallel))
 	if err != nil {
 		log.Fatal(err)
 	}

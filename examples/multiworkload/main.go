@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 
 func main() {
 	trials := flag.Int("trials", 200, "search trial budget")
+	parallel := flag.Int("parallel", 0, "concurrent evaluations (0 = one per CPU)")
 	flag.Parse()
 
 	suite := fast.MultiWorkloadSuite()
@@ -29,7 +31,7 @@ func main() {
 		Algorithm: fast.AlgorithmLCS,
 		Trials:    *trials,
 		Seed:      11,
-	}).Run()
+	}).Run(context.Background(), fast.WithParallelism(*parallel))
 	if err != nil {
 		log.Fatal(err)
 	}

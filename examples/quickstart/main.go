@@ -1,18 +1,25 @@
 // Quickstart: simulate EfficientNet-B0 inference on the TPU-v3 baseline
-// and on the FAST-Large design, and compare throughput, utilization and
-// Perf/TDP — the 30-second tour of the public API.
+// and on the FAST-Large design, compare throughput, utilization and
+// Perf/TDP, then search a better design with the concurrent study
+// engine — the 30-second tour of the public API.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-trials 60] [-parallel 4]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"fast"
 )
 
 func main() {
+	trials := flag.Int("trials", 60, "search trial budget for step 5")
+	parallel := flag.Int("parallel", 0, "concurrent evaluations (0 = one per CPU)")
+	flag.Parse()
 	// 1. Pick a workload and a design. Workloads are HLO-like graphs
 	//    built at the design's native batch size.
 	tpu := fast.TPUv3()
@@ -53,4 +60,30 @@ func main() {
 	fmt.Printf("\nPerf/TDP improvement: %.2fx\n", optimized.PerfPerTDP/baseline.PerfPerTDP)
 	fmt.Printf("FAST fusion removed %.0f%% of the memory stall (op intensity %.0f -> %.0f FLOPs/B)\n",
 		optimized.FusionEfficiency*100, optimized.OpIntensityPre, optimized.OpIntensityPost)
+
+	// 5. Search a design of our own with the concurrent study engine:
+	//    candidate evaluations run on a worker pool, and the result is
+	//    identical for a fixed seed at any -parallel setting.
+	fmt.Printf("\nsearching %d candidate designs for EfficientNet-B0...\n", *trials)
+	t0 := time.Now()
+	res, err := (&fast.Study{
+		Workloads: []string{"efficientnet-b0"},
+		Objective: fast.ObjectivePerfPerTDP,
+		Algorithm: fast.AlgorithmLCS,
+		Trials:    *trials,
+		Seed:      1,
+	}).Run(context.Background(), fast.WithParallelism(*parallel))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Best == nil {
+		log.Fatal("no feasible design; raise -trials")
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("searched %d trials in %.1fs (%.1f trials/s)\n",
+		len(res.Search.History), elapsed.Seconds(),
+		float64(len(res.Search.History))/elapsed.Seconds())
+	fmt.Printf("best design: %s\n", res.Best)
+	fmt.Printf("searched vs TPU-v3 Perf/TDP: %.2fx\n",
+		res.PerWorkload[0].Result.PerfPerTDP/baseline.PerfPerTDP)
 }

@@ -12,6 +12,28 @@
 //     fusion co-optimization,
 //   - the power/area and ROI models.
 //
+// # Searches
+//
+// A Study is executed with a context and functional options:
+//
+//	res, err := (&fast.Study{
+//	    Workloads: []string{"efficientnet-b7"},
+//	    Objective: fast.ObjectivePerfPerTDP,
+//	    Algorithm: fast.AlgorithmLCS,
+//	    Trials:    500,
+//	    Seed:      1,
+//	}).Run(ctx, fast.WithParallelism(8), fast.WithProgress(onTrial))
+//
+// Candidate evaluations run on a bounded worker pool and are memoized
+// by hyperparameter vector; the search trajectory is deterministic for
+// a fixed seed at any parallelism. Canceling the context stops the
+// study promptly and returns the partial trial history.
+//
+// The optimizers underneath speak a batch ask/tell protocol
+// (Optimizer, NewOptimizer) for callers that need custom evaluation
+// loops — distributed workers, simulators other than Simulate, or
+// early-stopping policies.
+//
 // See examples/ for runnable walkthroughs and cmd/fast-experiments for
 // the paper's tables and figures.
 package fast
@@ -73,6 +95,45 @@ const (
 	AlgorithmLCS      = search.AlgLCS
 	AlgorithmBayesian = search.AlgBayes
 )
+
+// Algorithm names an optimizer family.
+type Algorithm = search.Algorithm
+
+// Trial is one evaluated candidate: its hyperparameter index vector,
+// objective value, and feasibility.
+type Trial = search.Trial
+
+// SearchResult is a completed search: best trial plus full history
+// (convergence curves, feasible rate).
+type SearchResult = search.Result
+
+// Optimizer is the batch ask/tell protocol the search families speak:
+// Ask(n) proposes candidate index vectors, Tell reports evaluated
+// trials back in ask order. Study.Run drives one internally; use
+// NewOptimizer directly for custom evaluation loops.
+type Optimizer = search.Optimizer
+
+// NewOptimizer constructs a bare optimizer for custom ask/tell loops.
+// budget is the expected total trial count (annealing/sizing hint);
+// <= 0 selects family defaults.
+func NewOptimizer(alg Algorithm, seed int64, budget int) Optimizer {
+	return search.New(alg, seed, budget)
+}
+
+// Option configures one Study.Run invocation.
+type Option = core.Option
+
+// WithParallelism bounds concurrent design evaluations (n <= 0 uses one
+// worker per CPU). The search trajectory is identical at any setting.
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithBatchSize overrides the ask/tell batch width. Unlike parallelism
+// this changes which designs the optimizer proposes.
+func WithBatchSize(n int) Option { return core.WithBatchSize(n) }
+
+// WithProgress registers a per-trial callback, invoked in deterministic
+// order from the driving goroutine.
+func WithProgress(f func(Trial)) Option { return core.WithProgress(f) }
 
 // BuildModel constructs a workload graph by canonical name (e.g.
 // "efficientnet-b7", "bert-1024", "resnet50", "ocr-rpn",

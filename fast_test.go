@@ -1,6 +1,7 @@
 package fast
 
 import (
+	"context"
 	"testing"
 )
 
@@ -58,7 +59,7 @@ func TestFacadeStudy(t *testing.T) {
 		Algorithm: AlgorithmRandom,
 		Trials:    15,
 		Seed:      1,
-	}).Run()
+	}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,6 +72,52 @@ func TestFacadeStudy(t *testing.T) {
 	}
 	if GeoMean(wr, func(r *SimResult) float64 { return r.QPS }) <= 0 {
 		t.Error("geomean must be positive")
+	}
+}
+
+func TestFacadeStudyOptions(t *testing.T) {
+	// The redesigned Run(ctx, ...Option) surface: parallelism and
+	// progress compose, and parallelism never changes the outcome.
+	run := func(par int) (*StudyResult, int) {
+		trials := 0
+		res, err := (&Study{
+			Workloads: []string{"efficientnet-b0"},
+			Objective: ObjectivePerfPerTDP,
+			Algorithm: AlgorithmLCS,
+			Trials:    24,
+			Seed:      4,
+		}).Run(context.Background(),
+			WithParallelism(par),
+			WithProgress(func(Trial) { trials++ }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trials
+	}
+	serial, n1 := run(1)
+	parallel, n4 := run(4)
+	if n1 != 24 || n4 != 24 {
+		t.Errorf("progress callbacks = %d / %d, want 24", n1, n4)
+	}
+	if serial.BestValue != parallel.BestValue {
+		t.Errorf("parallelism changed the result: %v vs %v", serial.BestValue, parallel.BestValue)
+	}
+}
+
+func TestFacadeOptimizerProtocol(t *testing.T) {
+	// NewOptimizer exposes the raw ask/tell loop for custom drivers.
+	opt := NewOptimizer(AlgorithmBayesian, 8, 32)
+	for round := 0; round < 4; round++ {
+		asks := opt.Ask(8)
+		if len(asks) != 8 {
+			t.Fatalf("Ask(8) returned %d proposals", len(asks))
+		}
+		trials := make([]Trial, len(asks))
+		for i, idx := range asks {
+			trials[i] = Trial{Index: idx}
+			trials[i].Value, trials[i].Feasible = 1.0, true
+		}
+		opt.Tell(trials)
 	}
 }
 

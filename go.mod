@@ -1,0 +1,3 @@
+module fast
+
+go 1.24

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -96,34 +97,89 @@ func DefaultPlatform() *arch.Config {
 	return c
 }
 
-// graphCache builds workload graphs lazily per (name, batch), shared
-// across trials; NativeBatch is a searched hyperparameter so each batch
-// size materializes its own graph.
+// graphCache builds workload graphs lazily per (name, batch);
+// NativeBatch is a searched hyperparameter so each batch size
+// materializes its own graph. Graphs are immutable after construction,
+// so one cache is shared process-wide by every study and evaluation
+// (the working set is small: a handful of workloads × batch points).
 type graphCache struct {
 	mu sync.Mutex
-	m  map[string]*hlo.Graph
+	m  map[string]*graphEntry
+}
+
+// graphEntry builds its graph at most once; concurrent requesters for
+// the same key wait on the build, while other keys proceed — the global
+// lock is held only for the map lookup, never across models.Build.
+type graphEntry struct {
+	once sync.Once
+	g    *hlo.Graph
+	err  error
 }
 
 func (gc *graphCache) get(name string, batch int64) (*hlo.Graph, error) {
 	key := fmt.Sprintf("%s@%d", name, batch)
 	gc.mu.Lock()
-	defer gc.mu.Unlock()
-	if g, ok := gc.m[key]; ok {
-		return g, nil
-	}
-	g, err := models.Build(name, batch)
-	if err != nil {
-		return nil, err
-	}
 	if gc.m == nil {
-		gc.m = map[string]*hlo.Graph{}
+		gc.m = map[string]*graphEntry{}
 	}
-	gc.m[key] = g
-	return g, nil
+	e, ok := gc.m[key]
+	if !ok {
+		e = &graphEntry{}
+		gc.m[key] = e
+	}
+	gc.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = models.Build(name, batch) })
+	return e.g, e.err
 }
 
-// Run executes the study.
-func (s *Study) Run() (*StudyResult, error) {
+// graphs is the process-wide workload graph cache shared by Study.Run
+// and EvaluateDesign.
+var graphs = &graphCache{}
+
+// Option configures one Study.Run invocation (concurrency and
+// observability knobs, as opposed to the Study fields that define the
+// experiment itself).
+type Option func(*runConfig)
+
+type runConfig struct {
+	parallelism int
+	batchSize   int
+	progress    func(search.Trial)
+}
+
+// WithParallelism bounds concurrent design evaluations. n <= 0 (the
+// default) uses one worker per available CPU. Parallelism never changes
+// the search trajectory: a study with a fixed seed returns the same
+// result at any setting.
+func WithParallelism(n int) Option {
+	return func(c *runConfig) { c.parallelism = n }
+}
+
+// WithBatchSize overrides the ask/tell batch width (default
+// DefaultBatchSize). Unlike parallelism this is algorithmic state:
+// changing it changes which designs the optimizer proposes.
+func WithBatchSize(n int) Option {
+	return func(c *runConfig) { c.batchSize = n }
+}
+
+// WithProgress registers a callback invoked for every completed trial,
+// in deterministic order, from the driving goroutine (no locking
+// needed). Useful for live convergence reporting and for deciding when
+// to cancel the context.
+func WithProgress(f func(search.Trial)) Option {
+	return func(c *runConfig) { c.progress = f }
+}
+
+// Run executes the study until the trial budget is exhausted or ctx is
+// canceled. Cancellation is graceful: in-flight evaluations finish, and
+// the partial trial history — with Best/BestValue populated from it —
+// is returned together with ctx.Err(); the per-workload final
+// re-simulation is skipped.
+func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
 	if len(s.Workloads) == 0 {
 		return nil, fmt.Errorf("core: study needs at least one workload")
 	}
@@ -131,7 +187,7 @@ func (s *Study) Run() (*StudyResult, error) {
 		return nil, fmt.Errorf("core: trials must be positive")
 	}
 	for _, w := range s.Workloads {
-		if _, err := models.Build(w, 1); err != nil {
+		if err := models.Validate(w); err != nil {
 			return nil, err
 		}
 	}
@@ -153,7 +209,7 @@ func (s *Study) Run() (*StudyResult, error) {
 	}
 	simOpts.PowerModel = pm
 
-	gc := &graphCache{}
+	gc := graphs
 	space := arch.Space{}
 
 	objective := func(idx [arch.NumParams]int) search.Evaluation {
@@ -197,15 +253,28 @@ func (s *Study) Run() (*StudyResult, error) {
 	if alg == "" {
 		alg = search.AlgLCS
 	}
-	sr := search.Run(alg, objective, s.Trials, s.Seed)
+	runner := &Runner{
+		Optimizer:   search.New(alg, s.Seed, s.Trials),
+		Objective:   objective,
+		Trials:      s.Trials,
+		Parallelism: rc.parallelism,
+		BatchSize:   rc.batchSize,
+		OnTrial:     rc.progress,
+	}
+	sr, runErr := runner.Run(ctx)
 
 	out := &StudyResult{Search: sr}
 	if !sr.Best.Feasible {
-		return out, nil
+		return out, runErr
 	}
 	out.BestValue = sr.Best.Value
 	out.Best = space.Decode(sr.Best.Index, base)
 	out.Best.Name = fmt.Sprintf("fast-%s-%s", s.Objective, shortName(s.Workloads))
+	if runErr != nil {
+		// Canceled: hand back the partial history and best-so-far design
+		// without the (potentially slow) final re-simulation.
+		return out, runErr
+	}
 
 	// Final evaluation with the full ILP fusion solve.
 	finalOpts := simOpts
@@ -232,11 +301,13 @@ func shortName(ws []string) string {
 }
 
 // EvaluateDesign simulates a fixed design across workloads with the given
-// options (used by the Table 5/6 and Figure 9/10 harnesses).
+// options (used by the Table 5/6 and Figure 9/10 harnesses). Workload
+// graphs come from the process-wide cache shared with Study.Run, so
+// re-evaluating a design after a search rebuilds nothing.
 func EvaluateDesign(cfg *arch.Config, workloads []string, opts sim.Options) ([]WorkloadResult, error) {
 	var out []WorkloadResult
 	for _, w := range workloads {
-		g, err := models.Build(w, cfg.NativeBatch)
+		g, err := graphs.get(w, cfg.NativeBatch)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fast/internal/arch"
@@ -10,13 +11,13 @@ import (
 )
 
 func TestStudyValidation(t *testing.T) {
-	if _, err := (&Study{Trials: 10}).Run(); err == nil {
+	if _, err := (&Study{Trials: 10}).Run(context.Background()); err == nil {
 		t.Error("empty workloads must error")
 	}
-	if _, err := (&Study{Workloads: []string{"efficientnet-b0"}}).Run(); err == nil {
+	if _, err := (&Study{Workloads: []string{"efficientnet-b0"}}).Run(context.Background()); err == nil {
 		t.Error("zero trials must error")
 	}
-	if _, err := (&Study{Workloads: []string{"nope"}, Trials: 5}).Run(); err == nil {
+	if _, err := (&Study{Workloads: []string{"nope"}, Trials: 5}).Run(context.Background()); err == nil {
 		t.Error("unknown workload must error")
 	}
 }
@@ -31,7 +32,7 @@ func TestSingleWorkloadSearchBeatsTPUBaseline(t *testing.T) {
 		Trials:    60,
 		Seed:      1,
 	}
-	res, err := st.Run()
+	res, err := st.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestMultiWorkloadGeoMeanObjective(t *testing.T) {
 		Trials:    40,
 		Seed:      2,
 	}
-	res, err := st.Run()
+	res, err := st.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestLatencyBound(t *testing.T) {
 		Seed:            3,
 		LatencyBoundSec: 0.015,
 	}
-	res, err := st.Run()
+	res, err := st.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestPerfObjectiveFillsBudget(t *testing.T) {
 			Algorithm: search.AlgLCS,
 			Trials:    80,
 			Seed:      4,
-		}).Run()
+		}).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestDeterminism(t *testing.T) {
 			Algorithm: search.AlgBayes,
 			Trials:    25,
 			Seed:      5,
-		}).Run()
+		}).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

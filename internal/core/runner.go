@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fast/internal/arch"
+	"fast/internal/search"
+)
+
+// DefaultBatchSize is the Runner's ask/tell batch width. It matches the
+// LCS swarm, so one batch is one swarm generation.
+const DefaultBatchSize = 16
+
+// Runner pumps a search.Optimizer with a bounded worker pool. It is the
+// concurrency substrate of Study.Run, usable directly for custom
+// objectives.
+//
+// Determinism: the optimizer transcript depends only on BatchSize —
+// batches are asked whole, evaluated (possibly concurrently), and told
+// back in ask order. Parallelism changes wall-clock time, never the
+// transcript, so a run with a fixed seed yields bit-identical results at
+// any worker count.
+//
+// Memoization: objective evaluations are cached by hyperparameter index
+// vector for the lifetime of one Run. Adaptive optimizers (LCS, Bayes)
+// revisit points constantly late in a search; revisits replay the cached
+// evaluation instead of re-simulating, while still counting as trials
+// and being told to the optimizer.
+type Runner struct {
+	// Optimizer proposes candidates; required.
+	Optimizer search.Optimizer
+	// Objective evaluates one candidate; required. It must be safe for
+	// concurrent calls when Parallelism > 1, and deterministic per index
+	// vector (memoization replays the first evaluation of a point).
+	Objective search.Objective
+	// Trials bounds the total evaluation count.
+	Trials int
+	// Parallelism bounds concurrent Objective calls; <= 0 uses
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// BatchSize is the ask/tell batch width; <= 0 uses DefaultBatchSize.
+	// Unlike Parallelism it is algorithmic state: changing it changes
+	// the optimizer transcript (and therefore the search trajectory).
+	BatchSize int
+	// OnTrial, if non-nil, observes every trial in deterministic tell
+	// order from the driving goroutine.
+	OnTrial func(search.Trial)
+}
+
+// Run executes up to r.Trials evaluations. On context cancellation it
+// stops promptly — in-flight evaluations finish, the unfinished batch is
+// abandoned untold — and returns the partial history together with
+// ctx.Err().
+func (r *Runner) Run(ctx context.Context) (search.Result, error) {
+	var res search.Result
+	if r.Optimizer == nil || r.Objective == nil {
+		return res, fmt.Errorf("core: Runner needs an Optimizer and an Objective")
+	}
+	par := r.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	batch := r.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	cache := make(map[[arch.NumParams]int]search.Evaluation)
+
+	for done := 0; done < r.Trials; {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		n := batch
+		if rem := r.Trials - done; n > rem {
+			n = rem
+		}
+		asks := r.Optimizer.Ask(n)
+		if len(asks) == 0 {
+			// Exhausted optimizer (e.g. a finite grid): a normal early
+			// end, mirroring search.Drive.
+			return res, nil
+		}
+
+		// Collapse the batch to unique uncached points: slots[i] holds
+		// the evaluation for asks[i]; work lists the points to compute.
+		evals := make([]search.Evaluation, len(asks))
+		fill := make(map[[arch.NumParams]int][]int)
+		var work [][arch.NumParams]int
+		for i, idx := range asks {
+			if ev, ok := cache[idx]; ok {
+				evals[i] = ev
+				continue
+			}
+			if _, seen := fill[idx]; !seen {
+				work = append(work, idx)
+			}
+			fill[idx] = append(fill[idx], i)
+		}
+
+		if len(work) > 0 {
+			outs := make([]search.Evaluation, len(work))
+			workers := par
+			if workers > len(work) {
+				workers = len(work)
+			}
+			var next atomic.Int64
+			next.Store(-1)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						j := int(next.Add(1))
+						if j >= len(work) || ctx.Err() != nil {
+							return
+						}
+						outs[j] = r.Objective(work[j])
+					}
+				}()
+			}
+			wg.Wait()
+			if err := ctx.Err(); err != nil {
+				// Abandon the batch: some points may be unevaluated, and
+				// telling a partial batch would make the transcript
+				// depend on timing.
+				return res, err
+			}
+			for j, idx := range work {
+				cache[idx] = outs[j]
+				for _, slot := range fill[idx] {
+					evals[slot] = outs[j]
+				}
+			}
+		}
+
+		trials := make([]search.Trial, len(asks))
+		for i, idx := range asks {
+			trials[i] = search.Trial{Index: idx, Evaluation: evals[i]}
+		}
+		r.Optimizer.Tell(trials)
+		for _, t := range trials {
+			res.Observe(t)
+			if r.OnTrial != nil {
+				r.OnTrial(t)
+			}
+		}
+		done += len(asks)
+	}
+	return res, nil
+}

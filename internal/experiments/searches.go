@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -14,15 +15,15 @@ import (
 	"fast/internal/sim"
 )
 
-// runStudy executes one FAST search study.
-func runStudy(workloads []string, obj core.ObjectiveKind, trials int, seed int64) *core.StudyResult {
+// runStudy executes one FAST search study at the harness parallelism.
+func runStudy(o Options, workloads []string, obj core.ObjectiveKind, trials int, seed int64) *core.StudyResult {
 	res, err := (&core.Study{
 		Workloads: workloads,
 		Objective: obj,
 		Algorithm: search.AlgLCS,
 		Trials:    trials,
 		Seed:      seed,
-	}).Run()
+	}).Run(context.Background(), core.WithParallelism(o.Parallelism))
 	if err != nil {
 		panic(err)
 	}
@@ -41,7 +42,7 @@ type speedupRow struct {
 
 func searchSpeedups(o Options, obj core.ObjectiveKind, metric func(*sim.Result) float64) []speedupRow {
 	suite := models.FullSuite()
-	multiRes := runStudy(models.MultiWorkloadSuite(), obj, o.SearchTrials, o.Seed+1000)
+	multiRes := runStudy(o, models.MultiWorkloadSuite(), obj, o.SearchTrials, o.Seed+1000)
 
 	var rows []speedupRow
 	for i, w := range suite {
@@ -60,7 +61,7 @@ func searchSpeedups(o Options, obj core.ObjectiveKind, metric func(*sim.Result) 
 		}
 
 		// Single-workload search.
-		single := runStudy([]string{w}, obj, o.SearchTrials, o.Seed+int64(i))
+		single := runStudy(o, []string{w}, obj, o.SearchTrials, o.Seed+int64(i))
 		singleV := 0.0
 		if single.Best != nil {
 			singleV = metric(single.PerWorkload[0].Result)
@@ -182,7 +183,7 @@ func Fig11Convergence(o Options) Table {
 				Algorithm: alg,
 				Trials:    o.ConvergenceTrials,
 				Seed:      o.Seed + int64(rep)*37,
-			}).Run()
+			}).Run(context.Background(), core.WithParallelism(o.Parallelism))
 			if err != nil {
 				panic(err)
 			}
@@ -236,7 +237,7 @@ func Fig12Pareto(o Options) Table {
 		Algorithm: search.AlgRandom,
 		Trials:    o.SearchTrials * 2,
 		Seed:      o.Seed + 5,
-	}).Run()
+	}).Run(context.Background(), core.WithParallelism(o.Parallelism))
 	if err != nil {
 		panic(err)
 	}
@@ -323,14 +324,14 @@ func Table4ROIVolumes(o Options) Table {
 		t.Rows = append(t.Rows, row)
 	}
 	for i, w := range workloads {
-		res := runStudy([]string{w}, core.PerfPerTDP, o.SearchTrials, o.Seed+int64(100+i))
+		res := runStudy(o, []string{w}, core.PerfPerTDP, o.SearchTrials, o.Seed+int64(100+i))
 		s := 0.0
 		if res.Best != nil {
 			s = res.PerWorkload[0].Result.PerfPerTDP / baselinePerfPerTDP(w)
 		}
 		addRow(w, s)
 	}
-	multi := runStudy(models.MultiWorkloadSuite(), core.PerfPerTDP, o.SearchTrials, o.Seed+200)
+	multi := runStudy(o, models.MultiWorkloadSuite(), core.PerfPerTDP, o.SearchTrials, o.Seed+200)
 	if multi.Best != nil {
 		s := core.GeoMean(multi.PerWorkload, func(r *sim.Result) float64 { return r.PerfPerTDP })
 		baseGM := 1.0

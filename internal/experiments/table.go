@@ -85,6 +85,9 @@ type Options struct {
 	Repeats int
 	// Seed for determinism.
 	Seed int64
+	// Parallelism bounds concurrent candidate evaluations per study
+	// (0 = one worker per CPU). Results are identical at any setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {

@@ -17,27 +17,44 @@ import (
 //	bert-128, bert-1024 (or bert-<seq> for any sequence length)
 //	ocr-rpn, ocr-recognizer
 func Build(name string, batch int64) (*hlo.Graph, error) {
+	b, err := builder(name)
+	if err != nil {
+		return nil, err
+	}
+	return b(batch), nil
+}
+
+// Validate reports whether name is a recognized workload, without
+// constructing its graph (graph construction is the expensive part;
+// callers that only need to fail fast on typos use this).
+func Validate(name string) error {
+	_, err := builder(name)
+	return err
+}
+
+// builder resolves a workload name to its graph constructor.
+func builder(name string) (func(batch int64) *hlo.Graph, error) {
 	switch {
 	case strings.HasPrefix(name, "efficientnet-b"):
 		v, err := strconv.Atoi(strings.TrimPrefix(name, "efficientnet-b"))
 		if err != nil || v < 0 || v > 7 {
 			return nil, fmt.Errorf("models: bad EfficientNet variant in %q", name)
 		}
-		return EfficientNet(v, batch), nil
+		return func(batch int64) *hlo.Graph { return EfficientNet(v, batch) }, nil
 	case name == "resnet50":
-		return ResNet50v2(batch), nil
+		return ResNet50v2, nil
 	case strings.HasPrefix(name, "bert-"):
 		seq, err := strconv.ParseInt(strings.TrimPrefix(name, "bert-"), 10, 64)
 		if err != nil || seq < 1 {
 			return nil, fmt.Errorf("models: bad BERT sequence length in %q", name)
 		}
-		return BERTBase(batch, seq), nil
+		return func(batch int64) *hlo.Graph { return BERTBase(batch, seq) }, nil
 	case name == "ocr-rpn":
-		return OCRRPN(batch), nil
+		return OCRRPN, nil
 	case name == "ocr-recognizer":
-		return OCRRecognizer(batch), nil
+		return OCRRecognizer, nil
 	case name == "mobilenetv2":
-		return MobileNetV2(batch), nil
+		return MobileNetV2, nil
 	}
 	return nil, fmt.Errorf("models: unknown workload %q (known: %s)",
 		name, strings.Join(Names(), ", "))

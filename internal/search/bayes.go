@@ -7,98 +7,123 @@ import (
 	"fast/internal/arch"
 )
 
-// Bayesian is a surrogate-model optimizer in the spirit of Vizier's
-// default: a radial-basis-function regressor over normalized coordinates
-// predicts the objective, a distance-based uncertainty term provides
-// exploration, and each round proposes the candidate maximizing the
+// bayesOptimizer is a surrogate-model optimizer in the spirit of
+// Vizier's default: a radial-basis-function regressor over normalized
+// coordinates predicts the objective, a distance-based uncertainty term
+// provides exploration, and each proposal maximizes the
 // upper-confidence-bound acquisition over a sampled pool (random points
 // plus mutations of the incumbents). Infeasible observations are kept
 // with a pessimistic value so the surrogate learns the feasible region
 // ("safe search").
-func Bayesian(obj Objective, trials int, seed int64) Result {
-	r := rand.New(rand.NewSource(seed))
-	dims := arch.Space{}.Dims()
+//
+// Ask proposes from the surrogate fitted to every trial told so far;
+// proposals within one batch share that posterior and differ through
+// the acquisition pool's random draws. Tell refits incrementally.
+type bayesOptimizer struct {
+	r    *rand.Rand
+	dims [arch.NumParams]int
+	// budget is the expected total trial count, used by the warm-up and
+	// exploration-annealing schedules.
+	budget int
+	warm   int
 
-	var res Result
-	type sample struct {
-		x [arch.NumParams]float64
-		y float64
+	data  []bayesSample
+	worst float64 // running min feasible value, used to score infeasibles
+	// res accumulates told trials through Result.Observe — the same
+	// best-promotion rule every driver uses.
+	res   Result
+	asked int
+}
+
+type bayesSample struct {
+	x [arch.NumParams]float64
+	y float64
+}
+
+const bayesBandwidth = 0.35 // RBF kernel width in normalized space
+
+// bayesDefaultBudget stands in for the annealing horizon when the
+// caller gives no budget hint.
+const bayesDefaultBudget = 300
+
+// NewBayesian returns the surrogate-model optimizer. budget sizes the
+// warm-up phase (max(8, budget/10) random trials) and the exploration
+// decay; budget <= 0 uses a default horizon.
+func NewBayesian(seed int64, budget int) Optimizer {
+	if budget <= 0 {
+		budget = bayesDefaultBudget
 	}
-	var data []sample
-	worst := 0.0 // running min feasible value, used to score infeasibles
-
-	normalize := func(idx [arch.NumParams]int) [arch.NumParams]float64 {
-		var x [arch.NumParams]float64
-		for d, card := range dims {
-			if card > 1 {
-				x[d] = float64(idx[d]) / float64(card-1)
-			}
-		}
-		return x
-	}
-
-	const bandwidth = 0.35 // RBF kernel width in normalized space
-
-	predict := func(x [arch.NumParams]float64) (mean, sigma float64) {
-		if len(data) == 0 {
-			return 0, 1
-		}
-		var wsum, vsum, nearest float64
-		nearest = math.Inf(1)
-		for _, s := range data {
-			var d2 float64
-			for d := range x {
-				diff := x[d] - s.x[d]
-				d2 += diff * diff
-			}
-			w := math.Exp(-d2 / (2 * bandwidth * bandwidth))
-			wsum += w
-			vsum += w * s.y
-			if d2 < nearest {
-				nearest = d2
-			}
-		}
-		if wsum < 1e-12 {
-			return 0, 1
-		}
-		// Uncertainty grows with distance to the nearest observation.
-		return vsum / wsum, 1 - math.Exp(-nearest/(bandwidth*bandwidth))
-	}
-
-	// Warm-up: random exploration for the first max(8, trials/10) trials.
-	warm := trials / 10
+	warm := budget / 10
 	if warm < 8 {
 		warm = 8
 	}
-
-	evalPoint := func(idx [arch.NumParams]int) {
-		ev := obj(idx)
-		observe(&res, Trial{Index: idx, Evaluation: ev})
-		y := ev.Value
-		if !ev.Feasible {
-			// Pessimistic stand-in below the worst feasible value.
-			y = worst - 1
-		} else if y < worst || len(data) == 0 {
-			worst = y
-		}
-		data = append(data, sample{x: normalize(idx), y: y})
+	return &bayesOptimizer{
+		r:      rand.New(rand.NewSource(seed)),
+		dims:   arch.Space{}.Dims(),
+		budget: budget,
+		warm:   warm,
 	}
+}
 
-	randomIdx := func() [arch.NumParams]int {
-		var idx [arch.NumParams]int
-		for d, card := range dims {
-			idx[d] = r.Intn(card)
+func (o *bayesOptimizer) normalize(idx [arch.NumParams]int) [arch.NumParams]float64 {
+	var x [arch.NumParams]float64
+	for d, card := range o.dims {
+		if card > 1 {
+			x[d] = float64(idx[d]) / float64(card-1)
 		}
-		return idx
 	}
+	return x
+}
 
-	for t := 0; t < trials; t++ {
-		if t < warm || !res.Best.Feasible {
-			evalPoint(randomIdx())
+func (o *bayesOptimizer) predict(x [arch.NumParams]float64) (mean, sigma float64) {
+	if len(o.data) == 0 {
+		return 0, 1
+	}
+	var wsum, vsum, nearest float64
+	nearest = math.Inf(1)
+	for _, s := range o.data {
+		var d2 float64
+		for d := range x {
+			diff := x[d] - s.x[d]
+			d2 += diff * diff
+		}
+		w := math.Exp(-d2 / (2 * bayesBandwidth * bayesBandwidth))
+		wsum += w
+		vsum += w * s.y
+		if d2 < nearest {
+			nearest = d2
+		}
+	}
+	if wsum < 1e-12 {
+		return 0, 1
+	}
+	// Uncertainty grows with distance to the nearest observation.
+	return vsum / wsum, 1 - math.Exp(-nearest/(bayesBandwidth*bayesBandwidth))
+}
+
+func (o *bayesOptimizer) randomIdx() [arch.NumParams]int {
+	var idx [arch.NumParams]int
+	for d, card := range o.dims {
+		idx[d] = o.r.Intn(card)
+	}
+	return idx
+}
+
+func (o *bayesOptimizer) Ask(n int) [][arch.NumParams]int {
+	out := make([][arch.NumParams]int, 0, n)
+	for i := 0; i < n; i++ {
+		t := o.asked
+		o.asked++
+		if t < o.warm || !o.res.Best.Feasible {
+			out = append(out, o.randomIdx())
 			continue
 		}
 		// UCB acquisition over a candidate pool.
-		kappa := 1.5 * (1 - float64(t)/float64(trials)) // anneal exploration
+		frac := float64(t) / float64(o.budget)
+		if frac > 1 {
+			frac = 1
+		}
+		kappa := 1.5 * (1 - frac) // anneal exploration
 		pool := 64
 		bestAcq := math.Inf(-1)
 		var bestIdx [arch.NumParams]int
@@ -106,19 +131,19 @@ func Bayesian(obj Objective, trials int, seed int64) Result {
 			var cand [arch.NumParams]int
 			switch {
 			case c < pool/3:
-				cand = randomIdx()
+				cand = o.randomIdx()
 			case c < 2*pool/3:
-				cand = mutate(r, res.Best.Index, 0.25)
+				cand = mutate(o.r, o.res.Best.Index, 0.25)
 			default:
 				// Mutate a random prior feasible incumbent.
-				base := res.Best.Index
-				if k := feasibleAt(&res, r); k >= 0 {
-					base = res.History[k].Index
+				base := o.res.Best.Index
+				if k := feasibleIn(o.res.History, o.r); k >= 0 {
+					base = o.res.History[k].Index
 				}
-				cand = mutate(r, base, 0.4)
+				cand = mutate(o.r, base, 0.4)
 			}
-			mean, sigma := predict(normalize(cand))
-			spread := math.Abs(res.Best.Value)
+			mean, sigma := o.predict(o.normalize(cand))
+			spread := math.Abs(o.res.Best.Value)
 			if spread == 0 {
 				spread = 1
 			}
@@ -128,17 +153,40 @@ func Bayesian(obj Objective, trials int, seed int64) Result {
 				bestIdx = cand
 			}
 		}
-		evalPoint(bestIdx)
+		out = append(out, bestIdx)
 	}
-	return res
+	return out
 }
 
-// feasibleAt returns the index of a uniformly random feasible trial in
+func (o *bayesOptimizer) Tell(trials []Trial) {
+	for _, tr := range trials {
+		o.res.Observe(tr)
+		y := tr.Value
+		if !tr.Feasible {
+			// Pessimistic stand-in below the worst feasible value.
+			y = o.worst - 1
+		} else if y < o.worst || len(o.data) == 0 {
+			o.worst = y
+		}
+		o.data = append(o.data, bayesSample{x: o.normalize(tr.Index), y: y})
+	}
+}
+
+// Bayesian runs the surrogate-model optimizer serially (adapter over
+// NewBayesian).
+func Bayesian(obj Objective, trials int, seed int64) Result {
+	if trials <= 0 {
+		return Result{}
+	}
+	return Drive(NewBayesian(seed, trials), obj, trials)
+}
+
+// feasibleIn returns the index of a uniformly random feasible trial in
 // the history (-1 if none).
-func feasibleAt(res *Result, r *rand.Rand) int {
+func feasibleIn(hist []Trial, r *rand.Rand) int {
 	count := 0
 	pick := -1
-	for i, t := range res.History {
+	for i, t := range hist {
 		if t.Feasible {
 			count++
 			if r.Intn(count) == 0 {

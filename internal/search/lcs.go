@@ -7,96 +7,146 @@ import (
 	"fast/internal/arch"
 )
 
-// LCS is the Linear Combination Swarm optimizer: a bounded particle swarm
-// over the continuous relaxation of the ordinal space. Each particle's
-// next position is a linear combination of its velocity, its personal
-// best, and the global best (the "linear combination" of the name);
-// positions are rounded to the ordinal grid for evaluation. Infeasible
-// evaluations never update bests, which keeps the swarm inside the safe
-// region.
-func LCS(obj Objective, trials int, seed int64) Result {
-	r := rand.New(rand.NewSource(seed))
-	dims := arch.Space{}.Dims()
+// lcsOptimizer is the Linear Combination Swarm optimizer: a bounded
+// particle swarm over the continuous relaxation of the ordinal space.
+// Each particle's next position is a linear combination of its velocity,
+// its personal best, and the global best (the "linear combination" of
+// the name); positions are rounded to the ordinal grid for evaluation.
+// Infeasible evaluations never update bests, which keeps the swarm
+// inside the safe region.
+//
+// Ask proposes the rounded positions of the next particles in
+// round-robin order; Tell attributes each evaluation to the position
+// snapshot that proposed it, then applies the velocity/position update —
+// so a size-one ask/tell loop reproduces the classic asynchronous swarm,
+// while batch asks give a synchronous generation.
+type lcsOptimizer struct {
+	r    *rand.Rand
+	dims [arch.NumParams]int
 
-	particles := 16
-	if trials < particles {
-		particles = trials
-	}
-	if particles == 0 {
-		return Result{}
-	}
+	swarm      []lcsParticle
+	askCursor  int
+	gBest      [arch.NumParams]float64
+	gBestValue float64
+	hasGlobal  bool
+	// pending pairs each un-told Ask proposal with the particle and
+	// position snapshot that generated it, in ask order.
+	pending []lcsPending
+}
 
-	const (
-		inertia   = 0.65
-		cPersonal = 1.2
-		cGlobal   = 1.6
-	)
+type lcsParticle struct {
+	pos, vel  [arch.NumParams]float64
+	best      [arch.NumParams]float64
+	bestValue float64
+	hasBest   bool
+}
 
-	type particle struct {
-		pos, vel  [arch.NumParams]float64
-		best      [arch.NumParams]float64
-		bestValue float64
-		hasBest   bool
+type lcsPending struct {
+	particle int
+	pos      [arch.NumParams]float64
+}
+
+const (
+	lcsInertia   = 0.65
+	lcsPersonal  = 1.2
+	lcsGlobal    = 1.6
+	lcsSwarmSize = 16
+)
+
+// NewLCS returns a Linear Combination Swarm optimizer. budget caps the
+// swarm size (a swarm larger than the trial budget never completes one
+// generation); budget <= 0 uses the default swarm.
+func NewLCS(seed int64, budget int) Optimizer {
+	o := &lcsOptimizer{
+		r:          rand.New(rand.NewSource(seed)),
+		dims:       arch.Space{}.Dims(),
+		gBestValue: math.Inf(-1),
 	}
-	swarm := make([]particle, particles)
-	for i := range swarm {
-		for d, card := range dims {
-			swarm[i].pos[d] = r.Float64() * float64(card-1)
-			swarm[i].vel[d] = (r.Float64() - 0.5) * float64(card) / 2
+	particles := lcsSwarmSize
+	if budget > 0 && budget < particles {
+		particles = budget
+	}
+	if particles < 1 {
+		particles = 1
+	}
+	o.swarm = make([]lcsParticle, particles)
+	for i := range o.swarm {
+		for d, card := range o.dims {
+			o.swarm[i].pos[d] = o.r.Float64() * float64(card-1)
+			o.swarm[i].vel[d] = (o.r.Float64() - 0.5) * float64(card) / 2
 		}
-		swarm[i].bestValue = math.Inf(-1)
+		o.swarm[i].bestValue = math.Inf(-1)
 	}
+	return o
+}
 
-	var res Result
-	var gBest [arch.NumParams]float64
-	gBestValue := math.Inf(-1)
-	hasGlobal := false
-
-	round := func(pos [arch.NumParams]float64) [arch.NumParams]int {
-		var idx [arch.NumParams]int
-		for d, card := range dims {
-			v := int(math.Round(pos[d]))
-			if v < 0 {
-				v = 0
-			}
-			if v >= card {
-				v = card - 1
-			}
-			idx[d] = v
+func (o *lcsOptimizer) round(pos [arch.NumParams]float64) [arch.NumParams]int {
+	var idx [arch.NumParams]int
+	for d, card := range o.dims {
+		v := int(math.Round(pos[d]))
+		if v < 0 {
+			v = 0
 		}
-		return idx
+		if v >= card {
+			v = card - 1
+		}
+		idx[d] = v
 	}
+	return idx
+}
 
-	for t := 0; t < trials; t++ {
-		p := &swarm[t%particles]
-		idx := round(p.pos)
-		ev := obj(idx)
-		observe(&res, Trial{Index: idx, Evaluation: ev})
+func (o *lcsOptimizer) Ask(n int) [][arch.NumParams]int {
+	out := make([][arch.NumParams]int, 0, n)
+	for i := 0; i < n; i++ {
+		p := o.askCursor % len(o.swarm)
+		o.askCursor++
+		o.pending = append(o.pending, lcsPending{particle: p, pos: o.swarm[p].pos})
+		out = append(out, o.round(o.swarm[p].pos))
+	}
+	return out
+}
 
-		if ev.Feasible && ev.Value > p.bestValue {
-			p.bestValue = ev.Value
-			p.best = p.pos
+func (o *lcsOptimizer) Tell(trials []Trial) {
+	for _, tr := range trials {
+		var pd lcsPending
+		if len(o.pending) > 0 {
+			pd = o.pending[0]
+			o.pending = o.pending[1:]
+		} else {
+			// Foreign trial (e.g. a replayed transcript): attribute it to
+			// the next particle at the trial's own grid position.
+			pd.particle = o.askCursor % len(o.swarm)
+			o.askCursor++
+			for d := range tr.Index {
+				pd.pos[d] = float64(tr.Index[d])
+			}
+		}
+		p := &o.swarm[pd.particle]
+
+		if tr.Feasible && tr.Value > p.bestValue {
+			p.bestValue = tr.Value
+			p.best = pd.pos
 			p.hasBest = true
 		}
-		if ev.Feasible && ev.Value > gBestValue {
-			gBestValue = ev.Value
-			gBest = p.pos
-			hasGlobal = true
+		if tr.Feasible && tr.Value > o.gBestValue {
+			o.gBestValue = tr.Value
+			o.gBest = pd.pos
+			o.hasGlobal = true
 		}
 
-		// Velocity/position update (applied after each evaluation so the
-		// swarm state is deterministic in trial order).
-		for d, card := range dims {
-			v := inertia * p.vel[d]
+		// Velocity/position update (applied per told trial so the swarm
+		// state is deterministic in transcript order).
+		for d, card := range o.dims {
+			v := lcsInertia * p.vel[d]
 			if p.hasBest {
-				v += cPersonal * r.Float64() * (p.best[d] - p.pos[d])
+				v += lcsPersonal * o.r.Float64() * (p.best[d] - p.pos[d])
 			}
-			if hasGlobal {
-				v += cGlobal * r.Float64() * (gBest[d] - p.pos[d])
+			if o.hasGlobal {
+				v += lcsGlobal * o.r.Float64() * (o.gBest[d] - p.pos[d])
 			}
-			if !p.hasBest && !hasGlobal {
+			if !p.hasBest && !o.hasGlobal {
 				// No feasible anchor yet: random restart drift.
-				v = (r.Float64() - 0.5) * float64(card)
+				v = (o.r.Float64() - 0.5) * float64(card)
 			}
 			// Velocity clamp keeps particles inside a couple of grid
 			// steps per iteration.
@@ -119,10 +169,17 @@ func LCS(obj Objective, trials int, seed int64) Result {
 			}
 		}
 		// Occasional mutation kick to escape local optima.
-		if r.Float64() < 0.05 {
-			d := r.Intn(arch.NumParams)
-			p.pos[d] = r.Float64() * float64(dims[d]-1)
+		if o.r.Float64() < 0.05 {
+			d := o.r.Intn(arch.NumParams)
+			p.pos[d] = o.r.Float64() * float64(o.dims[d]-1)
 		}
 	}
-	return res
+}
+
+// LCS runs the Linear Combination Swarm serially (adapter over NewLCS).
+func LCS(obj Objective, trials int, seed int64) Result {
+	if trials <= 0 {
+		return Result{}
+	}
+	return Drive(NewLCS(seed, trials), obj, trials)
 }

@@ -45,6 +45,17 @@ type Result struct {
 	History []Trial
 }
 
+// Observe folds a trial into the result: appends it to the history and
+// promotes it to Best when it is the best feasible trial so far. Every
+// driver of an Optimizer (serial Drive, the concurrent engine in
+// internal/core) accumulates through this one helper.
+func (r *Result) Observe(t Trial) {
+	r.History = append(r.History, t)
+	if t.Feasible && (!r.Best.Feasible || t.Value > r.Best.Value) {
+		r.Best = t
+	}
+}
+
 // BestSoFar returns the running-best objective value after each trial
 // (NaN until the first feasible trial) — the Figure 11 convergence curve.
 func (r Result) BestSoFar() []float64 {
@@ -86,45 +97,95 @@ const (
 	AlgBayes Algorithm = "bayesian"
 )
 
-// Run executes `trials` evaluations of obj with the chosen algorithm and
-// deterministic seed.
-func Run(alg Algorithm, obj Objective, trials int, seed int64) Result {
+// Optimizer is the batch ask/tell protocol every search family speaks.
+// Ask proposes candidates from the current state; Tell folds evaluated
+// trials back in. An optimizer's state evolves only through this
+// transcript, so any driver that replays the same ask/tell sequence —
+// serial loop or concurrent engine — reproduces the same search.
+//
+// Contract: trials passed to Tell must arrive in the order their index
+// vectors were returned by Ask (batches may be told whole or split, but
+// never reordered); adaptive families rely on that pairing to attribute
+// evaluations to the internal state that proposed them.
+type Optimizer interface {
+	// Ask returns up to n candidate hyperparameter index vectors (the
+	// built-in families always return exactly n; a finite optimizer may
+	// return fewer, and an empty result tells drivers the optimizer is
+	// exhausted — they end the search early with the partial result).
+	// Proposals within one batch are generated from the same state
+	// snapshot, so adaptive families may propose duplicates; drivers
+	// are free to memoize the objective across them.
+	Ask(n int) [][arch.NumParams]int
+	// Tell reports evaluated trials back to the optimizer, in ask order.
+	Tell(trials []Trial)
+}
+
+// New constructs a fresh optimizer for the algorithm with a
+// deterministic seed. budget is the expected total trial count, used by
+// annealing schedules (Bayesian exploration decay) and for sizing (LCS
+// swarm); budget <= 0 selects family defaults.
+func New(alg Algorithm, seed int64, budget int) Optimizer {
 	switch alg {
 	case AlgLCS:
-		return LCS(obj, trials, seed)
+		return NewLCS(seed, budget)
 	case AlgBayes:
-		return Bayesian(obj, trials, seed)
+		return NewBayesian(seed, budget)
 	default:
-		return Random(obj, trials, seed)
+		return NewRandom(seed)
 	}
 }
 
-// observe folds a trial into the result.
-func observe(res *Result, t Trial) {
-	res.History = append(res.History, t)
-	if t.Feasible && (!res.Best.Feasible || t.Value > res.Best.Value) {
-		res.Best = t
-	}
+// Run executes `trials` evaluations of obj with the chosen algorithm and
+// deterministic seed. It is a thin serial adapter over the ask/tell
+// Optimizer protocol (ask-batch size one); concurrent drivers live in
+// internal/core.
+func Run(alg Algorithm, obj Objective, trials int, seed int64) Result {
+	return Drive(New(alg, seed, trials), obj, trials)
 }
 
-// Random samples the space uniformly.
-func Random(obj Objective, trials int, seed int64) Result {
-	r := rand.New(rand.NewSource(seed))
-	dims := arch.Space{}.Dims()
+// Drive pumps opt through `trials` serial ask/tell rounds of size one,
+// evaluating each proposal with obj. An optimizer that runs out of
+// proposals (empty Ask) ends the drive early with the partial result.
+func Drive(opt Optimizer, obj Objective, trials int) Result {
 	var res Result
 	for i := 0; i < trials; i++ {
-		var idx [arch.NumParams]int
-		for d, card := range dims {
-			idx[d] = r.Intn(card)
+		asks := opt.Ask(1)
+		if len(asks) == 0 {
+			return res
 		}
-		res.History = append(res.History, Trial{Index: idx})
-		t := &res.History[len(res.History)-1]
-		t.Evaluation = obj(idx)
-		if t.Feasible && (!res.Best.Feasible || t.Value > res.Best.Value) {
-			res.Best = *t
-		}
+		t := Trial{Index: asks[0], Evaluation: obj(asks[0])}
+		opt.Tell([]Trial{t})
+		res.Observe(t)
 	}
 	return res
+}
+
+// randomOptimizer samples the space uniformly; Tell is a no-op.
+type randomOptimizer struct {
+	r    *rand.Rand
+	dims [arch.NumParams]int
+}
+
+// NewRandom returns the uniform-sampling optimizer.
+func NewRandom(seed int64) Optimizer {
+	return &randomOptimizer{r: rand.New(rand.NewSource(seed)), dims: arch.Space{}.Dims()}
+}
+
+func (o *randomOptimizer) Ask(n int) [][arch.NumParams]int {
+	out := make([][arch.NumParams]int, n)
+	for i := range out {
+		for d, card := range o.dims {
+			out[i][d] = o.r.Intn(card)
+		}
+	}
+	return out
+}
+
+func (o *randomOptimizer) Tell([]Trial) {}
+
+// Random samples the space uniformly (serial adapter over NewRandom).
+func Random(obj Objective, trials int, seed int64) Result {
+	return Drive(NewRandom(seed), obj, trials)
 }
 
 // mutate returns a copy of idx with each coordinate re-sampled with
