@@ -70,10 +70,13 @@ func BenchmarkTable6Ablation(b *testing.B)         { runExperiment(b, "table6") 
 // --- Ablation benches for DESIGN.md's called-out design choices ---
 
 // benchSimulate times one full simulation of a workload on a design.
+// Graph construction happens before the timer starts, and each variant
+// reports sims/s so throughput numbers are comparable across PRs.
 func benchSimulate(b *testing.B, workload string, cfg *arch.Config, opts sim.Options) float64 {
 	b.Helper()
 	g := models.MustBuild(workload, cfg.NativeBatch)
 	var last float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := sim.Simulate(g, cfg, opts)
 		if err != nil {
@@ -84,6 +87,7 @@ func benchSimulate(b *testing.B, workload string, cfg *arch.Config, opts sim.Opt
 		}
 		last = r.QPS
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sims/s")
 	return last
 }
 
@@ -117,11 +121,17 @@ func BenchmarkAblationPaddingPass(b *testing.B) {
 			opts := sim.FASTOptions()
 			opts.Mapping = mapping.Options{DisablePadding: variant.disable}
 			cfg := arch.FASTLarge()
+			// Build every suite graph before the timed loop: graph
+			// construction is workload setup, not simulator cost.
+			graphs := make([]*Graph, len(suite))
+			for gi, w := range suite {
+				graphs[gi] = models.MustBuild(w, cfg.NativeBatch)
+			}
 			schedulable := 0
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				schedulable = 0
-				for _, w := range suite {
-					g := models.MustBuild(w, cfg.NativeBatch)
+				for _, g := range graphs {
 					r, err := sim.Simulate(g, cfg, opts)
 					if err != nil {
 						b.Fatal(err)
@@ -201,6 +211,7 @@ func BenchmarkAblationL2Enable(b *testing.B) {
 			cfg.L2InputMult, cfg.L2WeightMult, cfg.L2OutputMult = 4, 4, 4
 			g := models.MustBuild("efficientnet-b7", cfg.NativeBatch)
 			var perfPerTDP float64
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r, err := sim.Simulate(g, cfg, sim.FASTOptions())
 				if err != nil {
@@ -263,4 +274,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			benchSimulate(b, w, arch.FASTLarge(), sim.FASTOptions())
 		})
 	}
+}
+
+// BenchmarkCompile times the design-independent phase: sim.Compile on
+// the quickstart workload. A search pays this once per (workload,
+// options) pair, not per trial.
+func BenchmarkCompile(b *testing.B) {
+	cfg := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b0", cfg.NativeBatch)
+	opts := sim.FASTOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Compile(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate times the design-dependent phase alone: one shared
+// compiled plan evaluated per iteration — the per-trial cost of the
+// search hot path after the Compile/Evaluate split.
+func BenchmarkEvaluate(b *testing.B) {
+	cfg := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b0", cfg.NativeBatch)
+	plan, err := sim.Compile(g, sim.FASTOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := plan.Evaluate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ScheduleFailed {
+			b.Fatalf("schedule failure: %s", r.FailReason)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
 }

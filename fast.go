@@ -177,8 +177,26 @@ func BaselineOptions() SimOptions { return sim.BaselineOptions() }
 // fusion, automatic softmax selection).
 func FASTOptions() SimOptions { return sim.FASTOptions() }
 
+// Plan is a compiled simulation: every design-independent analysis of a
+// (workload, options) pair — fusion-region partitioning, per-op
+// shape/FLOPs/cost tables, fusion-candidate enumeration — done once by
+// Compile. Plan.Evaluate then scores a candidate design running only the
+// design-dependent work (schedule mapping, fusion placement, roll-up).
+// Plans are immutable and safe for concurrent Evaluate calls, so many
+// search workers can share one.
+type Plan = sim.Plan
+
+// Compile precomputes a simulation plan for graph g under opts.
+// Simulate(g, d, opts) ≡ Compile(g, opts).Evaluate(d), bit for bit; use
+// Compile when evaluating one workload against many designs.
+func Compile(g *Graph, opts SimOptions) (*Plan, error) {
+	return sim.Compile(g, opts)
+}
+
 // Simulate runs the architectural simulator for a workload graph on a
-// design.
+// design. It is a thin Compile+Evaluate wrapper; Study.Run and
+// EvaluateDesign share compiled plans via a process-wide cache keyed by
+// (workload, batch, options fingerprint).
 func Simulate(g *Graph, d *Design, opts SimOptions) (*SimResult, error) {
 	return sim.Simulate(g, d, opts)
 }

@@ -136,6 +136,63 @@ func (gc *graphCache) get(name string, batch int64) (*hlo.Graph, error) {
 // and EvaluateDesign.
 var graphs = &graphCache{}
 
+// planKey identifies one compiled simulation plan: a workload graph at a
+// specific batch under a specific simulator-options fingerprint.
+type planKey struct {
+	model string
+	batch int64
+	fp    string
+}
+
+// planCache upgrades the graph cache to compiled plans (sim.Compile):
+// all design-independent simulator analysis for a (workload, options)
+// pair is done once per process and shared, so per-trial work reduces to
+// Plan.Evaluate. Entries follow the graphCache discipline: the global
+// lock covers only the map lookup; each entry compiles at most once,
+// with concurrent requesters for the same key waiting on that compile
+// while other keys proceed. Plans are immutable, so Runner workers
+// evaluate one shared Plan concurrently without synchronization.
+type planCache struct {
+	mu sync.Mutex
+	m  map[planKey]*planEntry
+}
+
+type planEntry struct {
+	once sync.Once
+	p    *sim.Plan
+	err  error
+}
+
+// get returns the compiled plan for (name, batch, opts). fp must be
+// opts.Fingerprint(), hoisted out so per-trial callers don't re-render
+// it (it is constant across a study).
+func (pc *planCache) get(name string, batch int64, fp string, opts sim.Options) (*sim.Plan, error) {
+	key := planKey{model: name, batch: batch, fp: fp}
+	pc.mu.Lock()
+	if pc.m == nil {
+		pc.m = map[planKey]*planEntry{}
+	}
+	e, ok := pc.m[key]
+	if !ok {
+		e = &planEntry{}
+		pc.m[key] = e
+	}
+	pc.mu.Unlock()
+	e.once.Do(func() {
+		g, err := graphs.get(name, batch)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.p, e.err = sim.Compile(g, opts)
+	})
+	return e.p, e.err
+}
+
+// plans is the process-wide plan cache shared by Study.Run and
+// EvaluateDesign.
+var plans = &planCache{}
+
 // Option configures one Study.Run invocation (concurrency and
 // observability knobs, as opposed to the Study fields that define the
 // experiment itself).
@@ -209,8 +266,10 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	}
 	simOpts.PowerModel = pm
 
-	gc := graphs
 	space := arch.Space{}
+	// The options fingerprint is constant across the study; render it
+	// once so the per-trial hot path only does a map lookup.
+	simFP := simOpts.Fingerprint()
 
 	objective := func(idx [arch.NumParams]int) search.Evaluation {
 		cfg := space.Decode(idx, base)
@@ -223,11 +282,11 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 		}
 		logSum := 0.0
 		for _, w := range s.Workloads {
-			g, err := gc.get(w, cfg.NativeBatch)
+			plan, err := plans.get(w, cfg.NativeBatch, simFP, simOpts)
 			if err != nil {
 				return search.Evaluation{}
 			}
-			r, err := sim.Simulate(g, cfg, simOpts)
+			r, err := plan.Evaluate(cfg)
 			if err != nil || r.ScheduleFailed || r.QPS <= 0 {
 				return search.Evaluation{} // Eq. 5
 			}
@@ -280,7 +339,7 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	finalOpts := simOpts
 	finalOpts.Fusion.GreedyOnly = false
 	for _, w := range s.Workloads {
-		g, err := gc.get(w, out.Best.NativeBatch)
+		g, err := graphs.get(w, out.Best.NativeBatch)
 		if err != nil {
 			return nil, err
 		}
@@ -301,17 +360,18 @@ func shortName(ws []string) string {
 }
 
 // EvaluateDesign simulates a fixed design across workloads with the given
-// options (used by the Table 5/6 and Figure 9/10 harnesses). Workload
-// graphs come from the process-wide cache shared with Study.Run, so
-// re-evaluating a design after a search rebuilds nothing.
+// options (used by the Table 5/6 and Figure 9/10 harnesses). Compiled
+// plans come from the process-wide cache shared with Study.Run, so
+// re-evaluating a design after a search recompiles nothing.
 func EvaluateDesign(cfg *arch.Config, workloads []string, opts sim.Options) ([]WorkloadResult, error) {
+	fp := opts.Fingerprint()
 	var out []WorkloadResult
 	for _, w := range workloads {
-		g, err := graphs.get(w, cfg.NativeBatch)
+		plan, err := plans.get(w, cfg.NativeBatch, fp, opts)
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Simulate(g, cfg, opts)
+		r, err := plan.Evaluate(cfg)
 		if err != nil {
 			return nil, err
 		}

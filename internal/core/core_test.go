@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"fast/internal/arch"
@@ -172,5 +173,68 @@ func TestGeoMean(t *testing.T) {
 	rs[1].Result.QPS = 0
 	if GeoMean(rs, id) != 0 {
 		t.Error("non-positive values must zero the geomean")
+	}
+}
+
+func TestPlanCacheSharing(t *testing.T) {
+	fast := sim.FASTOptions()
+	fp := fast.Fingerprint()
+	p1, err := plans.get("efficientnet-b0", 128, fp, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := plans.get("efficientnet-b0", 128, fp, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same (workload, batch, fingerprint) must share one compiled plan")
+	}
+	base := sim.BaselineOptions()
+	p3, err := plans.get("efficientnet-b0", 128, base.Fingerprint(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("different option fingerprints must compile distinct plans")
+	}
+	p4, err := plans.get("efficientnet-b0", 64, fp, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Error("different batches must compile distinct plans")
+	}
+	if _, err := plans.get("no-such-model", 128, fp, fast); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	// Many goroutines requesting the same fresh key must all receive the
+	// single compiled plan (compile-once under -race).
+	fast := sim.FASTOptions()
+	fast.Fusion.Window = 3 // unique options → fresh cache entry
+	fp := fast.Fingerprint()
+	const workers = 8
+	got := make([]*sim.Plan, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := plans.get("resnet50", 128, fp, fast)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatalf("worker %d received a different plan", w)
+		}
 	}
 }

@@ -136,9 +136,38 @@ func savedByRegion(regions []RegionCost, pin, keep []bool) []float64 {
 	return saved
 }
 
+// UsableEdges is the design-independent half of the fusion pre-analysis:
+// region i's primary edge is a placement candidate only when it has a
+// producer within the residency window (window 0 uses DefaultWindow).
+// The producers slice holds each region's EdgeProducer in execution
+// order. The result depends only on the partition and the window, so
+// callers evaluating one workload against many datapaths compute it once
+// (sim.Compile) and pass it to OptimizePlanned for every design.
+func UsableEdges(producers []int, window int) []bool {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	usable := make([]bool, len(producers))
+	for i, p := range producers {
+		usable[i] = p >= 0 && i-p >= 1 && i-p <= window
+	}
+	return usable
+}
+
 // Optimize solves the FAST fusion problem for the given regions and GM
 // capacity (bytes).
 func Optimize(regions []RegionCost, capacity int64, opts Options) Solution {
+	producers := make([]int, len(regions))
+	for i := range regions {
+		producers[i] = regions[i].EdgeProducer
+	}
+	return OptimizePlanned(regions, UsableEdges(producers, opts.Window), capacity, opts)
+}
+
+// OptimizePlanned is Optimize with the window analysis precomputed (see
+// UsableEdges). usable is read, never written, so one slice may be
+// shared by concurrent solves over the same region structure.
+func OptimizePlanned(regions []RegionCost, usable []bool, capacity int64, opts Options) Solution {
 	n := len(regions)
 	sol := Solution{
 		PinWeight:  make([]bool, n),
@@ -154,19 +183,10 @@ func Optimize(regions []RegionCost, capacity int64, opts Options) Solution {
 		}
 		return sol
 	}
-	window := opts.Window
-	if window == 0 {
-		window = DefaultWindow
-	}
-
-	// An edge is usable only within the residency window.
-	usable := make([]bool, n)
 	for i := range regions {
-		r := &regions[i]
-		if r.EdgeResidentBytes == 0 {
-			r.EdgeResidentBytes = r.EdgeBytes
+		if regions[i].EdgeResidentBytes == 0 {
+			regions[i].EdgeResidentBytes = regions[i].EdgeBytes
 		}
-		usable[i] = r.EdgeProducer >= 0 && i-r.EdgeProducer >= 1 && i-r.EdgeProducer <= window
 	}
 
 	pin, keep := greedy(regions, usable, capacity)

@@ -11,6 +11,16 @@ import (
 // or edge residency) is taken when its marginal time saving per GM byte
 // is best and capacity allows. Savings saturate at each region's TMin, so
 // marginal values are recomputed as items land.
+//
+// This is the design-dependent inner loop of every search trial, so it
+// avoids the naive implementation's per-test full peak sweep: pinned
+// weights charge every region uniformly, so peak GM usage decomposes as
+// pinnedTotal + max_k(resident_k + BaseGM_k) and each placement test
+// needs only the candidate's own residency interval. Candidate values
+// only ever shrink (saved[] grows monotonically), so zero-value
+// candidates are pruned permanently. Both changes are selection-order
+// preserving: the same candidates land in the same sequence as the
+// reference implementation.
 func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bool) {
 	n := len(regions)
 	pin = make([]bool, n)
@@ -18,7 +28,7 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 	saved := make([]float64, n)
 
 	marginal := func(i int, t float64) float64 {
-		r := regions[i]
+		r := &regions[i]
 		room := (r.TMax - r.TMin) - saved[i]
 		if room <= 0 {
 			return 0
@@ -39,7 +49,8 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 		bytes  int64
 	}
 	var cands []cand
-	for i, r := range regions {
+	for i := range regions {
+		r := &regions[i]
 		if r.PinnableWeights && r.DWeight > 0 && r.TWeight > 0 {
 			cands = append(cands, cand{false, i, r.DWeight})
 		}
@@ -48,58 +59,79 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 		}
 	}
 
-	var maxBase int64
-	for _, r := range regions {
-		if r.BaseGM > maxBase {
-			maxBase = r.BaseGM
+	// rb[k] = BaseGM_k plus the edge tensors resident across region k;
+	// residentPeak = max rb[k]. Peak GM usage for any assignment is
+	// pinnedTotal + residentPeak, maintained incrementally.
+	rb := make([]int64, n)
+	var residentPeak, pinnedTotal int64
+	for k := range regions {
+		rb[k] = regions[k].BaseGM
+		if rb[k] > residentPeak {
+			residentPeak = rb[k]
 		}
 	}
-	budget := capacity - maxBase
 
-	trialSol := Solution{PinWeight: pin, EdgeOnChip: keep}
 	for len(cands) > 0 {
 		best, bestVal := -1, 0.0
-		for ci, c := range cands {
+		w := 0
+		for _, c := range cands {
 			var v float64
 			if c.isEdge {
 				v = edgeValue(c.idx)
 			} else {
 				v = marginal(c.idx, regions[c.idx].TWeight)
 			}
+			if v <= 0 {
+				continue // saved[] only grows: this stays worthless forever
+			}
 			if c.bytes > 0 {
 				v /= float64(c.bytes)
 			}
+			cands[w] = c
 			if v > bestVal {
-				bestVal, best = v, ci
+				bestVal, best = v, w
 			}
+			w++
 		}
+		cands = cands[:w]
 		if best < 0 || bestVal <= 0 {
 			break
 		}
 		c := cands[best]
 		cands = append(cands[:best], cands[best+1:]...)
-		// Tentatively place and verify true peak usage (edges only
-		// occupy their residency interval, so the shared budget check is
-		// conservative for pins but exact via peakUsage).
+		// Capacity test over the candidate's own footprint: an edge only
+		// occupies its residency interval [producer, consumer]; a pin
+		// charges every region.
 		if c.isEdge {
-			keep[c.idx] = true
-		} else {
-			pin[c.idx] = true
-		}
-		if peakUsage(&trialSol, regions) > budget+maxBase {
-			if c.isEdge {
-				keep[c.idx] = false
-			} else {
-				pin[c.idx] = false
+			p := regions[c.idx].EdgeProducer
+			var top int64
+			for k := p; k <= c.idx; k++ {
+				if rb[k] > top {
+					top = rb[k]
+				}
 			}
-			continue
-		}
-		if c.isEdge {
+			peakAfter := residentPeak
+			if top+c.bytes > peakAfter {
+				peakAfter = top + c.bytes
+			}
+			if pinnedTotal+peakAfter > capacity {
+				continue
+			}
+			residentPeak = peakAfter
+			for k := p; k <= c.idx; k++ {
+				rb[k] += c.bytes
+			}
+			keep[c.idx] = true
 			saved[c.idx] += marginal(c.idx, regions[c.idx].TEdgeRead)
-			if p := regions[c.idx].EdgeProducer; p >= 0 {
+			if p >= 0 {
 				saved[p] += marginal(p, regions[c.idx].TEdgeWrite)
 			}
 		} else {
+			if pinnedTotal+c.bytes+residentPeak > capacity {
+				continue
+			}
+			pinnedTotal += c.bytes
+			pin[c.idx] = true
 			saved[c.idx] += marginal(c.idx, regions[c.idx].TWeight)
 		}
 	}

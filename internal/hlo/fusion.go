@@ -261,6 +261,36 @@ func (p *Partition) IO(r *Region) RegionIO {
 	return io
 }
 
+// PrimaryEdge finds region r's largest external activation input: the
+// producing region, the tensor's bytes, and whether r is that tensor's
+// only external consumer (so the producer's DRAM write is avoidable).
+// This is the per-region edge candidate FAST fusion decides over; it
+// depends only on the partition, never on the datapath.
+func (p *Partition) PrimaryEdge(r *Region) (producer int, bytes int64, sole bool) {
+	producer = -1
+	var bestOp *Op
+	for _, op := range r.Ops {
+		for _, in := range op.Inputs {
+			pr := p.RegionOf(in.ID)
+			if pr >= 0 && pr != r.ID && in.Output.Bytes() > bytes {
+				producer, bytes, bestOp = pr, in.Output.Bytes(), in
+			}
+		}
+	}
+	if bestOp == nil {
+		return -1, 0, false
+	}
+	sole = true
+	for _, cid := range p.Consumers()[bestOp.ID] {
+		cr := p.RegionOf(cid)
+		if cr != producer && cr != r.ID {
+			sole = false
+			break
+		}
+	}
+	return producer, bytes, sole
+}
+
 // OpIntensity returns the graph's operational intensity (FLOPs per DRAM
 // byte) under this partition, assuming every region boundary tensor and
 // all weights are DRAM traffic — the paper's Figure 3 metric.

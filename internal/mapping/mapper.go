@@ -36,8 +36,12 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
+// allSchemes is the fixed scheme universe; Best iterates it directly so
+// the per-op hot path of Plan.Evaluate allocates nothing.
+var allSchemes = [...]Scheme{WeightStationary, OutputStationary, Conv1D}
+
 // AllSchemes lists every mapping scheme.
-func AllSchemes() []Scheme { return []Scheme{WeightStationary, OutputStationary, Conv1D} }
+func AllSchemes() []Scheme { return append([]Scheme(nil), allSchemes[:]...) }
 
 // Options controls the mapper.
 type Options struct {
@@ -213,7 +217,7 @@ func min64(a, b int64) int64 {
 func Best(p Problem, c *arch.Config, o Options) Mapping {
 	schemes := o.Schemes
 	if schemes == nil {
-		schemes = AllSchemes()
+		schemes = allSchemes[:]
 	}
 	var best Mapping
 	best.Failed = true

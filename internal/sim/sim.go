@@ -144,288 +144,50 @@ func FASTOptions() Options {
 	}
 }
 
+// Fingerprint returns a deterministic key covering every Options field
+// that can change simulation results, for caching compiled Plans by
+// (workload, options) pair. The power model is rendered by value, so two
+// equal models — including two separate power.Default() pointers — share
+// a fingerprint.
+func (o Options) Fingerprint() string {
+	// Evaluate treats a nil PowerModel as power.Default(), so the key
+	// must too: a study that pins the default model explicitly and a
+	// caller passing nil share one compiled plan.
+	pmv := o.PowerModel
+	if pmv == nil {
+		pmv = power.Default()
+	}
+	pm := fmt.Sprintf("%+v", *pmv)
+	// Schemes must distinguish nil (all schemes) from a non-nil empty
+	// slice (no schemes: every matrix op fails to schedule); %v renders
+	// both as "[]".
+	schemes := "all"
+	if o.Mapping.Schemes != nil {
+		schemes = fmt.Sprintf("%v", o.Mapping.Schemes)
+	}
+	return fmt.Sprintf("sm2p=%t auto=%t fus=%+v pad=%t schemes=%s pnone=%t train=%t wtf=%t dwvpu=%t pm=%s",
+		o.TwoPassSoftmax, o.AutoSoftmax, o.Fusion, o.Mapping.DisablePadding, schemes,
+		o.PartitionNone, o.Training, o.WholeTensorFusion, o.DepthwiseOnVPU, pm)
+}
+
 // Simulate runs the full pipeline for graph g (built at any batch; it is
 // rebatched to cfg.NativeBatch by the caller when desired) on cfg.
+//
+// It is a thin Compile+Evaluate wrapper (see plan.go): callers that
+// evaluate one workload against many candidate designs should Compile
+// once and share the Plan.
 func Simulate(g *hlo.Graph, cfg *arch.Config, opts Options) (*Result, error) {
+	// Check cfg before paying for Compile (and to keep the historical
+	// cfg-before-graph error precedence); Evaluate re-validates for
+	// direct Plan callers, which costs only a few field checks.
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := g.Validate(); err != nil {
+	plan, err := Compile(g, opts)
+	if err != nil {
 		return nil, err
 	}
-	if opts.AutoSoftmax {
-		a := simulate(g, cfg, opts, vpu.ThreePass)
-		b := simulate(g, cfg, opts, vpu.TwoPass)
-		if !b.ScheduleFailed && (a.ScheduleFailed || b.LatencySec < a.LatencySec) {
-			return b, nil
-		}
-		return a, nil
-	}
-	alg := vpu.ThreePass
-	if opts.TwoPassSoftmax {
-		alg = vpu.TwoPass
-	}
-	return simulate(g, cfg, opts, alg), nil
-}
-
-func simulate(g *hlo.Graph, cfg *arch.Config, opts Options, alg vpu.SoftmaxAlgorithm) *Result {
-	res := &Result{Graph: g, Config: cfg, SoftmaxAlgorithm: alg}
-
-	var part *hlo.Partition
-	if opts.PartitionNone {
-		part = hlo.PartitionNone(g)
-	} else {
-		part = hlo.PartitionXLA(g)
-	}
-
-	perCoreBW := cfg.PeakBandwidthGBs() * 1e9 / float64(cfg.Cores)
-	clock := cfg.ClockGHz * 1e9
-
-	// Effective blocking capacity for the mapper's traffic floor: the
-	// largest on-chip level available for working tiles.
-	capBytes := cfg.GlobalBytes()
-	if capBytes == 0 {
-		capBytes = cfg.NumPEs() * cfg.L2BytesPerPE()
-	}
-	if capBytes == 0 {
-		capBytes = cfg.NumPEs() * cfg.L1BytesPerPE()
-	}
-
-	mapCache := make(map[mapping.Problem]mapping.Mapping)
-
-	regionOrder := part.Regions
-	costs := make([]fusion.RegionCost, len(regionOrder))
-	stats := make([]RegionStats, len(regionOrder))
-	var totalFLOPs, matrixFLOPs int64
-
-	for ri, r := range regionOrder {
-		io := part.IO(r)
-		// Matrix ops stream through the systolic arrays while the VPUs
-		// post-process elementwise results in the same region, so those
-		// phases overlap: compute = max(matrix, elementwise) + serial,
-		// where full reductions (softmax, layernorm, global pooling)
-		// cannot start until their producer finishes and are serialized.
-		var matrixSec, vectorSec, serialSec float64
-		var extraBytes int64
-		pinnable := true
-		shares := make([]OpShare, 0, len(r.Ops))
-
-		for _, op := range r.Ops {
-			var opSec float64
-			var opExtra int64
-			if opts.DepthwiseOnVPU && op.Kind == hlo.KDepthwiseConv2D {
-				// One MAC per lane-cycle, derated for windowed access.
-				const dwVPUEff = 0.20
-				macs := float64(hlo.FLOPs(op)) / 2
-				opSec = vpu.Time(macs/dwVPUEff, cfg)
-				vectorSec += opSec
-			} else if p, ok := mapping.FromOp(op); ok {
-				m, hit := mapCache[p]
-				if !hit {
-					m = mapping.Best(p, cfg, opts.Mapping)
-					mapCache[p] = m
-				}
-				if m.Failed {
-					res.ScheduleFailed = true
-					res.FailReason = fmt.Sprintf("op %q: %s", op.Name, m.Reason)
-					return res
-				}
-				opSec = m.Cycles / clock
-				opExtra = mapping.TrafficFloor(p, capBytes) -
-					(p.ActivationBytes() + p.StationaryBytes() + p.OutputBytes())
-				if !p.WeightsStationary {
-					pinnable = false
-				}
-				matrixSec += opSec
-				if op.Kind == hlo.KLSTMCell {
-					gates := vpu.Time(vpu.LSTMGateOps(op), cfg)
-					vectorSec += gates
-					opSec += gates
-				}
-			} else {
-				softmaxFits := true
-				if op.Kind == hlo.KSoftmax {
-					// A standalone softmax kernel round-trips its whole
-					// tensor per pass unless the tensor itself stays on
-					// chip between passes.
-					softmaxFits = op.Output.Bytes()*2 <= capBytes
-				}
-				c := vpu.OpCost(op, alg, softmaxFits)
-				opSec = vpu.Time(c.VectorOps, cfg)
-				opExtra = c.ExtraDRAMBytes
-				if isSerialVec(op.Kind) {
-					serialSec += opSec
-				} else {
-					vectorSec += opSec
-				}
-			}
-			extraBytes += opExtra
-			shares = append(shares, OpShare{Op: op, IntrinsicSec: opSec + float64(opExtra)/perCoreBW})
-		}
-		if opts.Training {
-			var trainBytes int64
-			matrixSec, vectorSec, serialSec, trainBytes = trainingAdjust(matrixSec, vectorSec, serialSec, io, extraBytes)
-			// Rebuild the IO view the fusion costs below will see.
-			extraBytes = trainBytes - io.InputBytes - io.OutputBytes - io.WeightBytes
-		}
-		computeSec := maxf(matrixSec, vectorSec) + serialSec
-		// Attribute overlapped elementwise time at its residual share so
-		// per-op reports match what the timeline charges.
-		if matrixSec > 0 && vectorSec > 0 {
-			factor := 0.0
-			if vectorSec > matrixSec {
-				factor = (vectorSec - matrixSec) / vectorSec
-			}
-			for si := range shares {
-				op := shares[si].Op
-				if !op.Kind.IsMatrix() && !isSerialVec(op.Kind) {
-					shares[si].IntrinsicSec *= factor
-				}
-			}
-		}
-		if io.WeightBytes == 0 {
-			pinnable = false
-		}
-
-		dramPre := io.InputBytes + io.OutputBytes + io.WeightBytes + extraBytes
-		tMax := maxf(computeSec, float64(dramPre)/perCoreBW)
-		// With every boundary tensor on chip the activation re-read
-		// extras disappear too; the floor is pure compute.
-		tMin := computeSec
-
-		edgeProducer, edgeBytes, edgeSole := primaryEdge(part, r)
-		if opts.Training {
-			// Intermediates must persist for the backward pass: activation
-			// edges cannot be kept on chip.
-			edgeProducer, edgeBytes, edgeSole = -1, 0, false
-		}
-		// Inter-op blocking: adjacent regions stream the edge tensor one
-		// batch sample at a time, so GM residency is the per-sample slice.
-		resident := edgeBytes
-		if nb := g.NativeBatch(); nb > 1 && edgeBytes > 0 && !opts.WholeTensorFusion {
-			resident = edgeBytes / nb
-		}
-		costs[ri] = fusion.RegionCost{
-			TMin: tMin, TMax: tMax,
-			TWeight: float64(io.WeightBytes) / perCoreBW,
-			DWeight: io.WeightBytes, PinnableWeights: pinnable,
-			EdgeProducer:      edgeProducer,
-			EdgeBytes:         edgeBytes,
-			EdgeResidentBytes: resident,
-			// The consumer-side read saving carries the mapper/softmax
-			// extras (they are re-reads of the same activations).
-			TEdgeRead: float64(edgeBytes+extraBytes) / perCoreBW,
-		}
-		if edgeSole {
-			// The producer's DRAM write is saved too when this region is
-			// the tensor's only external consumer.
-			costs[ri].TEdgeWrite = float64(edgeBytes) / perCoreBW
-		}
-		stats[ri] = RegionStats{
-			Region: r, ComputeSec: computeSec, Shares: shares,
-			ExtraBytes:   extraBytes,
-			DRAMBytesPre: dramPre, SecPre: tMax, FLOPs: io.FLOPs,
-		}
-		totalFLOPs += io.FLOPs
-		matrixFLOPs += io.MatrixFLOPs
-	}
-
-	sol := fusion.Optimize(costs, cfg.GlobalBytes(), opts.Fusion)
-	res.Fusion = sol
-
-	// Post-fusion DRAM traffic per region.
-	for ri := range stats {
-		b := stats[ri].DRAMBytesPre
-		if sol.PinWeight[ri] {
-			b -= costs[ri].DWeight
-		}
-		if sol.EdgeOnChip[ri] {
-			b -= costs[ri].EdgeBytes + stats[ri].ExtraBytes
-			if costs[ri].TEdgeWrite > 0 {
-				p := costs[ri].EdgeProducer
-				stats[p].DRAMBytesPost -= costs[ri].EdgeBytes
-			}
-		}
-		stats[ri].DRAMBytesPost += b
-	}
-	var latency, preLatency, computeTotal float64
-	var bytesPre, bytesPost int64
-	for ri := range stats {
-		if stats[ri].DRAMBytesPost < 0 {
-			stats[ri].DRAMBytesPost = 0
-		}
-		post := sol.Times[ri]
-		stats[ri].SecPost = post
-		latency += post
-		preLatency += stats[ri].SecPre
-		computeTotal += stats[ri].ComputeSec
-		bytesPre += stats[ri].DRAMBytesPre
-		bytesPost += stats[ri].DRAMBytesPost
-	}
-	res.Regions = stats
-	res.LatencySec = latency
-	if latency > 0 {
-		res.QPS = float64(cfg.Cores) * float64(g.NativeBatch()) / latency
-		// Fraction of peak FLOPS, measured against the systolic arrays
-		// (the paper's metric): vector-unit work is excluded so the ratio
-		// is bounded by 1 on any datapath.
-		res.Utilization = float64(matrixFLOPs) / (latency * cfg.PeakFLOPs() / float64(cfg.Cores))
-	}
-	if bytesPre > 0 {
-		res.OpIntensityPre = float64(totalFLOPs) / float64(bytesPre)
-	}
-	if bytesPost > 0 {
-		res.OpIntensityPost = float64(totalFLOPs) / float64(bytesPost)
-	}
-	if preLatency > 0 {
-		res.MemStallPre = (preLatency - computeTotal) / preLatency
-	}
-	if latency > 0 {
-		res.MemStallPost = (latency - computeTotal) / latency
-	}
-	if stall := preLatency - computeTotal; stall > 0 {
-		res.FusionEfficiency = (preLatency - latency) / stall
-	}
-
-	pm := opts.PowerModel
-	if pm == nil {
-		pm = power.Default()
-	}
-	eval := pm.Evaluate(cfg)
-	res.TDPWatts = eval.TotalPower()
-	res.AreaMM2 = eval.TotalArea()
-	if res.TDPWatts > 0 {
-		res.PerfPerTDP = res.QPS / res.TDPWatts
-	}
-	return res
-}
-
-// primaryEdge finds region r's largest external activation input: the
-// producing region, the tensor's bytes, and whether r is that tensor's
-// only external consumer (so the producer's DRAM write is avoidable).
-func primaryEdge(p *hlo.Partition, r *hlo.Region) (producer int, bytes int64, sole bool) {
-	producer = -1
-	var bestOp *hlo.Op
-	for _, op := range r.Ops {
-		for _, in := range op.Inputs {
-			pr := p.RegionOf(in.ID)
-			if pr >= 0 && pr != r.ID && in.Output.Bytes() > bytes {
-				producer, bytes, bestOp = pr, in.Output.Bytes(), in
-			}
-		}
-	}
-	if bestOp == nil {
-		return -1, 0, false
-	}
-	sole = true
-	for _, cid := range p.Consumers()[bestOp.ID] {
-		cr := p.RegionOf(cid)
-		if cr != producer && cr != r.ID {
-			sole = false
-			break
-		}
-	}
-	return producer, bytes, sole
+	return plan.Evaluate(cfg)
 }
 
 // isSerialVec reports whether the op must wait for its full input before
