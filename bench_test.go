@@ -15,6 +15,7 @@ package fast
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"fast/internal/arch"
@@ -76,6 +77,7 @@ func benchSimulate(b *testing.B, workload string, cfg *arch.Config, opts sim.Opt
 	b.Helper()
 	g := models.MustBuild(workload, cfg.NativeBatch)
 	var last float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := sim.Simulate(g, cfg, opts)
@@ -245,6 +247,7 @@ func BenchmarkSearchThroughput(b *testing.B) {
 			}).Run(context.Background(), WithParallelism(par)); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := (&Study{
@@ -283,6 +286,7 @@ func BenchmarkCompile(b *testing.B) {
 	cfg := arch.FASTLarge()
 	g := models.MustBuild("efficientnet-b0", cfg.NativeBatch)
 	opts := sim.FASTOptions()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Compile(g, opts); err != nil {
@@ -301,6 +305,7 @@ func BenchmarkEvaluate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := plan.Evaluate(cfg)
@@ -312,4 +317,47 @@ func BenchmarkEvaluate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
+// BenchmarkEvaluateBatch times the factored evaluator on a sweep-shaped
+// batch: 64 designs mutated a few parameters at a time around FAST-Large
+// (the distribution an ask/tell optimizer batch feeds EvaluateBatch), on
+// a freshly compiled plan each iteration so every stage-cache entry is
+// computed inside the timed region. The gap between evals/s here and in
+// BenchmarkEvaluate (one design, warm caches) brackets the memoization
+// win on real search batches.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	base := arch.FASTLarge()
+	g := models.MustBuild("efficientnet-b0", base.NativeBatch)
+	space := arch.Space{}
+	dims := space.Dims()
+	rng := rand.New(rand.NewSource(1))
+	idx := space.Encode(base)
+	idx[arch.PNativeBatch] = 3 // keep one plan: the batch is a plan input upstream
+	const batch = 64
+	cfgs := make([]*arch.Config, batch)
+	for i := range cfgs {
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			d := rng.Intn(arch.NumParams)
+			if d == arch.PNativeBatch {
+				continue
+			}
+			idx[d] = rng.Intn(dims[d])
+		}
+		cfgs[i] = space.Decode(idx, base)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		plan, err := sim.Compile(g, sim.FASTOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := plan.EvaluateBatch(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "evals/s")
 }

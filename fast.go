@@ -181,9 +181,14 @@ func FASTOptions() SimOptions { return sim.FASTOptions() }
 // (workload, options) pair — fusion-region partitioning, per-op
 // shape/FLOPs/cost tables, fusion-candidate enumeration — done once by
 // Compile. Plan.Evaluate then scores a candidate design running only the
-// design-dependent work (schedule mapping, fusion placement, roll-up).
-// Plans are immutable and safe for concurrent Evaluate calls, so many
-// search workers can share one.
+// design-dependent work (schedule mapping, fusion placement, roll-up),
+// with each stage memoized across trials by the sub-tuple of design
+// parameters it reads, so sweeps over a few axes mostly hit warm stage
+// caches. Plan.EvaluateBatch scores many designs at once, walking the
+// batch in stage-key order for cache locality (bit-identical to
+// per-design Evaluate, results in input order). Plans are safe for
+// concurrent Evaluate/EvaluateBatch calls, so many search workers can
+// share one.
 type Plan = sim.Plan
 
 // Compile precomputes a simulation plan for graph g under opts.

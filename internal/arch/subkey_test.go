@@ -1,0 +1,103 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSubKeyDistinguishesEveryMaskedParam walks every parameter: two
+// configs differing only in that parameter must have different SubKeys
+// when the mask covers it, and identical SubKeys when it does not
+// (except where the differing values are semantically dead — disabled-L2
+// multipliers and the GlobalMiB=0 slot — which must collapse).
+func TestSubKeyDistinguishesEveryMaskedParam(t *testing.T) {
+	s := Space{}
+	dims := s.Dims()
+	base := FASTLarge()
+	for p := 0; p < NumParams; p++ {
+		for v := 1; v < dims[p]; v++ {
+			var a, b [NumParams]int
+			// Enable L2 so the multiplier slots are live unless the walk
+			// itself is over PL2Config.
+			if p != PL2Config {
+				a[PL2Config], b[PL2Config] = 1, 1
+			}
+			b[p] = v
+			ca, cb := s.Decode(a, base), s.Decode(b, base)
+			if err := ca.Validate(); err != nil {
+				t.Fatalf("decoded config invalid: %v", err)
+			}
+			full := AllParams
+			if ca.SubKey(full) == cb.SubKey(full) {
+				t.Errorf("param %s value %d: SubKey(AllParams) collides", ParamNames[p], v)
+			}
+			without := full &^ MaskOf(p)
+			if ca.SubKey(without) != cb.SubKey(without) {
+				t.Errorf("param %s value %d: SubKey without the param still differs", ParamNames[p], v)
+			}
+		}
+	}
+}
+
+// TestSubKeyCanonicalizesDeadParams: L2 multipliers with L2 disabled, and
+// nothing else, are dead — configs differing only there must share a key.
+func TestSubKeyCanonicalizesDeadParams(t *testing.T) {
+	s := Space{}
+	base := FASTLarge()
+	var a, b [NumParams]int
+	a[PL2Config], b[PL2Config] = 0, 0 // disabled
+	a[PL2InputMult], b[PL2InputMult] = 0, 7
+	a[PL2WeightMult], b[PL2WeightMult] = 3, 5
+	if k1, k2 := s.Decode(a, base).SubKey(AllParams), s.Decode(b, base).SubKey(AllParams); k1 != k2 {
+		t.Errorf("disabled-L2 multiplier variants must share a SubKey: %x vs %x", k1, k2)
+	}
+	// Reference designs carry zero-valued multipliers with L2 disabled;
+	// SubKey must accept them (no log2(0) aliasing with real values).
+	for _, name := range DesignNames() {
+		c := ByName(name)
+		_ = c.SubKey(AllParams)
+	}
+}
+
+// TestSubKeyRandomInjective cross-checks random config pairs: equal
+// SubKey(AllParams) implies equal live parameters.
+func TestSubKeyRandomInjective(t *testing.T) {
+	s := Space{}
+	base := FASTLarge()
+	rng := rand.New(rand.NewSource(3))
+	type seenCfg struct {
+		idx [NumParams]int
+	}
+	seen := map[uint64]seenCfg{}
+	live := func(idx [NumParams]int) [NumParams]int {
+		if idx[PL2Config] == 0 {
+			idx[PL2InputMult], idx[PL2WeightMult], idx[PL2OutputMult] = 0, 0, 0
+		}
+		return idx
+	}
+	for i := 0; i < 5000; i++ {
+		var idx [NumParams]int
+		for d, card := range s.Dims() {
+			idx[d] = rng.Intn(card)
+		}
+		k := s.Decode(idx, base).SubKey(AllParams)
+		if prev, ok := seen[k]; ok && live(prev.idx) != live(idx) {
+			t.Fatalf("SubKey collision: %v vs %v → %x", prev.idx, idx, k)
+		}
+		seen[k] = seenCfg{idx: idx}
+	}
+}
+
+// TestMaskOf sanity-checks the mask helpers.
+func TestMaskOf(t *testing.T) {
+	m := MaskOf(PPEsX, PSAy, PNativeBatch)
+	for p := 0; p < NumParams; p++ {
+		want := p == PPEsX || p == PSAy || p == PNativeBatch
+		if m.Has(p) != want {
+			t.Errorf("MaskOf.Has(%s) = %v, want %v", ParamNames[p], m.Has(p), want)
+		}
+	}
+	if !AllParams.Has(PNativeBatch) || AllParams.Has(NumParams) {
+		t.Error("AllParams bounds wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/power"
+	"fast/internal/search"
+	"fast/internal/sim"
+)
+
+// TestRunnerBatchObjectiveTranscript: with a BatchObjective installed the
+// Runner must reproduce the per-point transcript exactly — same history,
+// same best — at any parallelism, while actually routing evaluations
+// through the batch path.
+func TestRunnerBatchObjectiveTranscript(t *testing.T) {
+	for _, alg := range []search.Algorithm{search.AlgRandom, search.AlgLCS, search.AlgBayes} {
+		run := func(batch bool, par int) (search.Result, int64) {
+			var batchCalls atomic.Int64
+			rn := &Runner{
+				Optimizer:   search.New(alg, 5, 120),
+				Objective:   smooth,
+				Trials:      120,
+				Parallelism: par,
+			}
+			if batch {
+				rn.BatchObjective = func(idxs [][arch.NumParams]int) []search.Evaluation {
+					batchCalls.Add(1)
+					out := make([]search.Evaluation, len(idxs))
+					for i, idx := range idxs {
+						out[i] = smooth(idx)
+					}
+					return out
+				}
+			}
+			res, err := rn.Run(context.Background())
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			return res, batchCalls.Load()
+		}
+		serial, _ := run(false, 1)
+		for _, par := range []int{1, 4} {
+			batched, calls := run(true, par)
+			if calls == 0 {
+				t.Fatalf("%s par %d: BatchObjective never invoked", alg, par)
+			}
+			if len(serial.History) != len(batched.History) {
+				t.Fatalf("%s par %d: history lengths %d vs %d", alg, par, len(serial.History), len(batched.History))
+			}
+			for i := range serial.History {
+				if serial.History[i] != batched.History[i] {
+					t.Fatalf("%s par %d: trial %d differs between per-point and batched paths: %+v vs %+v",
+						alg, par, i, serial.History[i], batched.History[i])
+				}
+			}
+			if serial.Best != batched.Best {
+				t.Errorf("%s par %d: best differs between per-point and batched paths", alg, par)
+			}
+		}
+	}
+}
+
+// TestStudyObjectivesAgree: the per-point and batched study objectives
+// must return bit-identical Evaluations for every index vector — the
+// guarantee that lets Study.Run switch to the batch path without moving
+// the search trajectory. Exercised over random vectors (mostly
+// infeasible) and mutation chains around a known-good design (mostly
+// feasible), for single- and multi-workload studies.
+func TestStudyObjectivesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	space := arch.Space{}
+	dims := space.Dims()
+	for _, workloads := range [][]string{
+		{"efficientnet-b0"},
+		{"efficientnet-b0", "ocr-rpn"},
+	} {
+		s := &Study{
+			Workloads: workloads,
+			Objective: PerfPerTDP,
+			Algorithm: search.AlgLCS,
+			Trials:    1,
+			Seed:      1,
+		}
+		base := DefaultPlatform()
+		pm := power.Default()
+		budget := power.DefaultBudget(pm)
+		simOpts := sim.FASTOptions()
+		simOpts.PowerModel = pm
+		objective, batchObjective := s.makeObjectives(base, pm, budget, simOpts, simOpts.Fingerprint())
+
+		var idxs [][arch.NumParams]int
+		for i := 0; i < 24; i++ {
+			var idx [arch.NumParams]int
+			for d, card := range dims {
+				idx[d] = rng.Intn(card)
+			}
+			idxs = append(idxs, idx)
+		}
+		seed := space.Encode(arch.FASTLarge())
+		for i := 0; i < 24; i++ {
+			d := rng.Intn(arch.NumParams)
+			seed[d] = rng.Intn(dims[d])
+			idxs = append(idxs, seed)
+		}
+
+		batched := batchObjective(idxs)
+		if len(batched) != len(idxs) {
+			t.Fatalf("%v: batch returned %d evaluations for %d points", workloads, len(batched), len(idxs))
+		}
+		feasible := 0
+		for i, idx := range idxs {
+			want := objective(idx)
+			if want != batched[i] {
+				t.Errorf("%v: point %d: per-point %+v vs batched %+v", workloads, i, want, batched[i])
+			}
+			if want.Feasible {
+				feasible++
+			}
+		}
+		if feasible == 0 {
+			t.Errorf("%v: no feasible point in the probe set — agreement test is vacuous", workloads)
+		}
+	}
+}

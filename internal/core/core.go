@@ -266,18 +266,109 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	}
 	simOpts.PowerModel = pm
 
-	space := arch.Space{}
 	// The options fingerprint is constant across the study; render it
 	// once so the per-trial hot path only does a map lookup.
-	simFP := simOpts.Fingerprint()
+	objective, batchObjective := s.makeObjectives(base, pm, budget, simOpts, simOpts.Fingerprint())
 
-	objective := func(idx [arch.NumParams]int) search.Evaluation {
+	alg := s.Algorithm
+	if alg == "" {
+		alg = search.AlgLCS
+	}
+	runner := &Runner{
+		Optimizer:      search.New(alg, s.Seed, s.Trials),
+		Objective:      objective,
+		BatchObjective: batchObjective,
+		Trials:         s.Trials,
+		Parallelism:    rc.parallelism,
+		BatchSize:      rc.batchSize,
+		OnTrial:        rc.progress,
+	}
+	sr, runErr := runner.Run(ctx)
+
+	out := &StudyResult{Search: sr}
+	if !sr.Best.Feasible {
+		return out, runErr
+	}
+	out.BestValue = sr.Best.Value
+	out.Best = arch.Space{}.Decode(sr.Best.Index, base)
+	out.Best.Name = fmt.Sprintf("fast-%s-%s", s.Objective, shortName(s.Workloads))
+	if runErr != nil {
+		// Canceled: hand back the partial history and best-so-far design
+		// without the (potentially slow) final re-simulation.
+		return out, runErr
+	}
+
+	// Final evaluation with the full ILP fusion solve, through the
+	// process-wide plan cache: the compiled plan (and its memoized
+	// mapping/fusion stages) is shared with later re-evaluations of the
+	// same winner — EvaluateDesign, repeated studies — so only the first
+	// pass pays the ILP.
+	finalOpts := simOpts
+	finalOpts.Fusion.GreedyOnly = false
+	finalFP := finalOpts.Fingerprint()
+	for _, w := range s.Workloads {
+		plan, err := plans.get(w, out.Best.NativeBatch, finalFP, finalOpts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := plan.Evaluate(out.Best)
+		if err != nil {
+			return nil, err
+		}
+		out.PerWorkload = append(out.PerWorkload, WorkloadResult{Name: w, Result: r})
+	}
+	return out, nil
+}
+
+// makeObjectives builds the Runner's evaluation closures: the per-point
+// objective (Eq. 3 value under the Eq. 4-5 constraints) and its batched
+// twin. Both apply the identical decode → budget → per-workload simulate
+// → geomean pipeline and return identical Evaluations for every index
+// vector; the batched form routes simulation through Plan.EvaluateBatch
+// so an ask-batch of near-identical proposals shares memoized mapping /
+// residency / roll-up stages, and drops a design from later workloads as
+// soon as an earlier one proves it infeasible (mirroring the per-point
+// short-circuit).
+func (s *Study) makeObjectives(base *arch.Config, pm *power.Model, budget power.Budget,
+	simOpts sim.Options, simFP string) (search.Objective, search.BatchObjective) {
+
+	space := arch.Space{}
+
+	// prep decodes and applies the workload-independent constraints;
+	// ok=false means infeasible (zero Evaluation).
+	prep := func(idx [arch.NumParams]int) (*arch.Config, bool) {
 		cfg := space.Decode(idx, base)
 		if err := cfg.Validate(); err != nil {
-			return search.Evaluation{}
+			return nil, false
 		}
 		eval := pm.Evaluate(cfg)
 		if eval.TotalPower() > budget.MaxTDPW || eval.TotalArea() > budget.MaxAreaMM2 {
+			return nil, false
+		}
+		return cfg, true
+	}
+	// score folds one workload result into the running log-sum; ok=false
+	// means the design failed Eq. 5 or the latency bound on this workload.
+	score := func(r *sim.Result) (float64, bool) {
+		if r.ScheduleFailed || r.QPS <= 0 {
+			return 0, false
+		}
+		if s.LatencyBoundSec > 0 && r.LatencySec > s.LatencyBoundSec {
+			return 0, false
+		}
+		v := r.QPS
+		if s.Objective == PerfPerTDP {
+			v = r.PerfPerTDP
+		}
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log(v), true
+	}
+
+	objective := func(idx [arch.NumParams]int) search.Evaluation {
+		cfg, ok := prep(idx)
+		if !ok {
 			return search.Evaluation{}
 		}
 		logSum := 0.0
@@ -287,20 +378,14 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 				return search.Evaluation{}
 			}
 			r, err := plan.Evaluate(cfg)
-			if err != nil || r.ScheduleFailed || r.QPS <= 0 {
+			if err != nil {
+				return search.Evaluation{}
+			}
+			v, ok := score(r)
+			if !ok {
 				return search.Evaluation{} // Eq. 5
 			}
-			if s.LatencyBoundSec > 0 && r.LatencySec > s.LatencyBoundSec {
-				return search.Evaluation{}
-			}
-			v := r.QPS
-			if s.Objective == PerfPerTDP {
-				v = r.PerfPerTDP
-			}
-			if v <= 0 {
-				return search.Evaluation{}
-			}
-			logSum += math.Log(v)
+			logSum += v
 		}
 		return search.Evaluation{
 			Value:    math.Exp(logSum / float64(len(s.Workloads))),
@@ -308,48 +393,76 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 		}
 	}
 
-	alg := s.Algorithm
-	if alg == "" {
-		alg = search.AlgLCS
-	}
-	runner := &Runner{
-		Optimizer:   search.New(alg, s.Seed, s.Trials),
-		Objective:   objective,
-		Trials:      s.Trials,
-		Parallelism: rc.parallelism,
-		BatchSize:   rc.batchSize,
-		OnTrial:     rc.progress,
-	}
-	sr, runErr := runner.Run(ctx)
-
-	out := &StudyResult{Search: sr}
-	if !sr.Best.Feasible {
-		return out, runErr
-	}
-	out.BestValue = sr.Best.Value
-	out.Best = space.Decode(sr.Best.Index, base)
-	out.Best.Name = fmt.Sprintf("fast-%s-%s", s.Objective, shortName(s.Workloads))
-	if runErr != nil {
-		// Canceled: hand back the partial history and best-so-far design
-		// without the (potentially slow) final re-simulation.
-		return out, runErr
-	}
-
-	// Final evaluation with the full ILP fusion solve.
-	finalOpts := simOpts
-	finalOpts.Fusion.GreedyOnly = false
-	for _, w := range s.Workloads {
-		g, err := graphs.get(w, out.Best.NativeBatch)
-		if err != nil {
-			return nil, err
+	batchObjective := func(idxs [][arch.NumParams]int) []search.Evaluation {
+		evals := make([]search.Evaluation, len(idxs))
+		type live struct {
+			pos    int
+			cfg    *arch.Config
+			logSum float64
 		}
-		r, err := sim.Simulate(g, out.Best, finalOpts)
-		if err != nil {
-			return nil, err
+		alive := make([]live, 0, len(idxs))
+		for i, idx := range idxs {
+			if cfg, ok := prep(idx); ok {
+				alive = append(alive, live{pos: i, cfg: cfg})
+			}
 		}
-		out.PerWorkload = append(out.PerWorkload, WorkloadResult{Name: w, Result: r})
+		for _, w := range s.Workloads {
+			if len(alive) == 0 {
+				break
+			}
+			// NativeBatch is a searched hyperparameter and selects the
+			// compiled plan, so the batch splits into per-plan groups.
+			groups := make(map[int64][]int)
+			for ai := range alive {
+				nb := alive[ai].cfg.NativeBatch
+				groups[nb] = append(groups[nb], ai)
+			}
+			dead := make(map[int]bool)
+			for nb, ais := range groups {
+				plan, err := plans.get(w, nb, simFP, simOpts)
+				if err != nil {
+					for _, ai := range ais {
+						dead[ai] = true
+					}
+					continue
+				}
+				cfgs := make([]*arch.Config, len(ais))
+				for k, ai := range ais {
+					cfgs[k] = alive[ai].cfg
+				}
+				results, err := plan.EvaluateBatch(cfgs)
+				if err != nil {
+					for _, ai := range ais {
+						dead[ai] = true
+					}
+					continue
+				}
+				for k, ai := range ais {
+					if v, ok := score(results[k]); ok {
+						alive[ai].logSum += v
+					} else {
+						dead[ai] = true
+					}
+				}
+			}
+			next := alive[:0]
+			for ai := range alive {
+				if !dead[ai] {
+					next = append(next, alive[ai])
+				}
+			}
+			alive = next
+		}
+		for _, l := range alive {
+			evals[l.pos] = search.Evaluation{
+				Value:    math.Exp(l.logSum / float64(len(s.Workloads))),
+				Feasible: true,
+			}
+		}
+		return evals
 	}
-	return out, nil
+
+	return objective, batchObjective
 }
 
 func shortName(ws []string) string {

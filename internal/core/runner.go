@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -11,9 +12,28 @@ import (
 	"fast/internal/search"
 )
 
+// sortIndexVectors orders hyperparameter vectors lexicographically, so
+// near-identical proposals (adaptive optimizers mutate a few coordinates
+// around incumbents) become neighbours before the batch is chunked.
+func sortIndexVectors(work [][arch.NumParams]int) {
+	sort.Slice(work, func(a, b int) bool {
+		for d := 0; d < arch.NumParams; d++ {
+			if work[a][d] != work[b][d] {
+				return work[a][d] < work[b][d]
+			}
+		}
+		return false
+	})
+}
+
 // DefaultBatchSize is the Runner's ask/tell batch width. It matches the
 // LCS swarm, so one batch is one swarm generation.
 const DefaultBatchSize = 16
+
+// maxObjectiveChunk bounds how many points one BatchObjective call may
+// receive, so context cancellation is honoured at chunk rather than
+// whole-batch granularity even under very large custom batch sizes.
+const maxObjectiveChunk = 64
 
 // Runner pumps a search.Optimizer with a bounded worker pool. It is the
 // concurrency substrate of Study.Run, usable directly for custom
@@ -37,6 +57,14 @@ type Runner struct {
 	// concurrent calls when Parallelism > 1, and deterministic per index
 	// vector (memoization replays the first evaluation of a point).
 	Objective search.Objective
+	// BatchObjective, if non-nil, evaluates whole ask-batches instead of
+	// per-point Objective calls: the Runner sorts each batch's unique
+	// points lexicographically (grouping near-identical proposals so a
+	// stage-memoizing evaluator hits warm caches) and fans contiguous
+	// chunks across the worker pool. It must agree with Objective on
+	// every point — the transcript, and therefore the search trajectory,
+	// is identical with or without it.
+	BatchObjective search.BatchObjective
 	// Trials bounds the total evaluation count.
 	Trials int
 	// Parallelism bounds concurrent Objective calls; <= 0 uses
@@ -107,6 +135,34 @@ func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 			if workers > len(work) {
 				workers = len(work)
 			}
+			// One worker-pool shape serves both evaluation modes: workers
+			// pull contiguous chunks off an atomic cursor, checking
+			// cancellation between chunks. A per-point Objective is just a
+			// BatchObjective with chunk size 1; a real BatchObjective gets
+			// the unique points sorted so proposals that share parameter
+			// sub-tuples become neighbours, in chunks bounded by
+			// maxObjectiveChunk so large custom BatchSizes still stop
+			// promptly on cancellation. Results are keyed by index
+			// vector, so neither sorting nor chunking reaches the
+			// transcript.
+			batchObj := r.BatchObjective
+			chunk := 1
+			if batchObj != nil {
+				sortIndexVectors(work)
+				chunk = (len(work) + workers - 1) / workers
+				if chunk > maxObjectiveChunk {
+					chunk = maxObjectiveChunk
+				}
+			} else {
+				batchObj = func(idxs [][arch.NumParams]int) []search.Evaluation {
+					evs := make([]search.Evaluation, len(idxs))
+					for i, idx := range idxs {
+						evs[i] = r.Objective(idx)
+					}
+					return evs
+				}
+			}
+			nChunks := (len(work) + chunk - 1) / chunk
 			var next atomic.Int64
 			next.Store(-1)
 			var wg sync.WaitGroup
@@ -115,11 +171,20 @@ func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 				go func() {
 					defer wg.Done()
 					for {
-						j := int(next.Add(1))
-						if j >= len(work) || ctx.Err() != nil {
+						ci := int(next.Add(1))
+						if ci >= nChunks || ctx.Err() != nil {
 							return
 						}
-						outs[j] = r.Objective(work[j])
+						lo := ci * chunk
+						hi := lo + chunk
+						if hi > len(work) {
+							hi = len(work)
+						}
+						got := batchObj(work[lo:hi])
+						if len(got) != hi-lo {
+							panic(fmt.Sprintf("core: BatchObjective returned %d evaluations for %d points", len(got), hi-lo))
+						}
+						copy(outs[lo:hi], got)
 					}
 				}()
 			}

@@ -29,6 +29,7 @@ package fusion
 
 import (
 	"math"
+	"sync"
 	"time"
 )
 
@@ -122,6 +123,13 @@ func regionTime(r RegionCost, saved float64) float64 {
 // savedByRegion accumulates each region's time savings for an assignment.
 func savedByRegion(regions []RegionCost, pin, keep []bool) []float64 {
 	saved := make([]float64, len(regions))
+	accumSaved(saved, regions, pin, keep)
+	return saved
+}
+
+// accumSaved adds each region's time savings into a caller-provided
+// (zeroed) buffer.
+func accumSaved(saved []float64, regions []RegionCost, pin, keep []bool) {
 	for i, r := range regions {
 		if pin[i] {
 			saved[i] += r.TWeight
@@ -133,7 +141,6 @@ func savedByRegion(regions []RegionCost, pin, keep []bool) []float64 {
 			}
 		}
 	}
-	return saved
 }
 
 // UsableEdges is the design-independent half of the fusion pre-analysis:
@@ -168,58 +175,109 @@ func Optimize(regions []RegionCost, capacity int64, opts Options) Solution {
 // UsableEdges). usable is read, never written, so one slice may be
 // shared by concurrent solves over the same region structure.
 func OptimizePlanned(regions []RegionCost, usable []bool, capacity int64, opts Options) Solution {
+	pin, keep, method := SolvePlanned(regions, usable, capacity, opts)
+	// SolvePlanned hands over freshly allocated assignment slices, so the
+	// solution adopts them instead of copying.
+	return resolveOwned(regions, capacity, pin, keep, method)
+}
+
+// SolvePlanned computes just the placement assignment — which regions pin
+// weights and which keep their primary edge on chip — without the
+// per-region time/peak roll-up. The assignment is the expensive,
+// design-dependent part of the fusion stage (greedy selection, optional
+// ILP); callers that memoize it across evaluations reconstruct full
+// Solutions with ResolvePlanned. Method is "disabled", "greedy",
+// "ilp-incumbent" or "ilp-optimal".
+func SolvePlanned(regions []RegionCost, usable []bool, capacity int64, opts Options) (pin, keep []bool, method string) {
 	n := len(regions)
-	sol := Solution{
-		PinWeight:  make([]bool, n),
-		EdgeOnChip: make([]bool, n),
-		Times:      make([]float64, n),
-		Method:     "greedy",
-	}
 	if opts.Disable || n == 0 || capacity <= 0 {
-		sol.Method = "disabled"
+		return make([]bool, n), make([]bool, n), "disabled"
+	}
+	normalizeResident(regions)
+	pin, keep = greedy(regions, usable, capacity)
+	method = "greedy"
+	if !opts.GreedyOnly {
+		deadline := opts.Deadline
+		if deadline == 0 {
+			deadline = 2 * time.Second
+		}
+		if p2, k2, m, ok := solveILP(regions, usable, capacity, pin, keep, deadline); ok {
+			pin, keep = p2, k2
+			method = m
+		}
+	}
+	return pin, keep, method
+}
+
+// ResolvePlanned reconstructs the full Solution for a known assignment
+// (as returned by SolvePlanned, possibly from a cache): per-region
+// post-fusion times, total, and peak GM usage, with the same defensive
+// capacity repair as OptimizePlanned. pin/keep are copied, never
+// retained, so a memoized assignment can be shared read-only across
+// concurrent callers. ResolvePlanned(r, c, SolvePlanned(r, u, c, o))
+// ≡ OptimizePlanned(r, u, c, o).
+func ResolvePlanned(regions []RegionCost, capacity int64, pin, keep []bool, method string) Solution {
+	return resolveOwned(regions, capacity,
+		append([]bool(nil), pin...), append([]bool(nil), keep...), method)
+}
+
+// resolveOwned is ResolvePlanned taking ownership of pin/keep.
+func resolveOwned(regions []RegionCost, capacity int64, pin, keep []bool, method string) Solution {
+	sol := Solution{
+		PinWeight:  pin,
+		EdgeOnChip: keep,
+		Times:      make([]float64, len(regions)),
+		Method:     method,
+	}
+	if method == "disabled" {
 		for i, r := range regions {
 			sol.Times[i] = r.TMax
 			sol.Total += r.TMax
 		}
 		return sol
 	}
+	normalizeResident(regions)
+	finalize(&sol, regions, capacity)
+	return sol
+}
+
+// normalizeResident applies the EdgeResidentBytes-defaults-to-EdgeBytes
+// convention in place (idempotent).
+func normalizeResident(regions []RegionCost) {
 	for i := range regions {
 		if regions[i].EdgeResidentBytes == 0 {
 			regions[i].EdgeResidentBytes = regions[i].EdgeBytes
 		}
 	}
-
-	pin, keep := greedy(regions, usable, capacity)
-	if !opts.GreedyOnly {
-		deadline := opts.Deadline
-		if deadline == 0 {
-			deadline = 2 * time.Second
-		}
-		if p2, k2, method, ok := solveILP(regions, usable, capacity, pin, keep, deadline); ok {
-			pin, keep = p2, k2
-			sol.Method = method
-		}
-	}
-
-	copy(sol.PinWeight, pin)
-	copy(sol.EdgeOnChip, keep)
-	finalize(&sol, regions, capacity)
-	return sol
 }
+
+// finalizeScratch pools finalize's non-escaping buffers (saved times and
+// the residency sweep), which would otherwise be the last per-trial
+// allocations of the fusion solve.
+type finalizeScratch struct {
+	saved []float64
+	delta []int64
+}
+
+var finalizePool = sync.Pool{New: func() any { return new(finalizeScratch) }}
 
 // finalize computes per-region times and peak GM usage for an assignment,
 // repairing any capacity violation by dropping the lowest-density choices
 // (defensive; greedy and ILP both respect capacity already).
 func finalize(sol *Solution, regions []RegionCost, capacity int64) {
+	fs := finalizePool.Get().(*finalizeScratch)
+	defer finalizePool.Put(fs)
+	delta := resetI64(&fs.delta, len(regions)+1)
 	for repair := 0; ; repair++ {
-		peak := peakUsage(sol, regions)
+		peak := peakUsageBuf(sol, regions, delta)
 		if peak <= capacity || repair > 2*len(regions) {
 			sol.GMUsedPeak = peak
 			break
 		}
 		dropLowestDensity(sol, regions)
 	}
-	saved := savedByRegion(regions, sol.PinWeight, sol.EdgeOnChip)
+	saved := resetF64(&fs.saved, len(regions))
+	accumSaved(saved, regions, sol.PinWeight, sol.EdgeOnChip)
 	sol.Total = 0
 	for i, r := range regions {
 		sol.Times[i] = regionTime(r, saved[i])
@@ -231,6 +289,12 @@ func finalize(sol *Solution, regions []RegionCost, capacity int64) {
 // tensors resident across k (an edge with producer p and consumer c
 // occupies GM for every region in [p, c]).
 func peakUsage(sol *Solution, regions []RegionCost) int64 {
+	return peakUsageBuf(sol, regions, make([]int64, len(regions)+1))
+}
+
+// peakUsageBuf is peakUsage with a caller-provided sweep buffer of length
+// len(regions)+1 (contents ignored; overwritten).
+func peakUsageBuf(sol *Solution, regions []RegionCost, delta []int64) int64 {
 	n := len(regions)
 	var pinned int64
 	for i, r := range regions {
@@ -239,7 +303,9 @@ func peakUsage(sol *Solution, regions []RegionCost) int64 {
 		}
 	}
 	// Sweep: delta array over residency intervals.
-	delta := make([]int64, n+1)
+	for i := range delta {
+		delta[i] = 0
+	}
 	for i, r := range regions {
 		if sol.EdgeOnChip[i] && r.EdgeProducer >= 0 {
 			b := r.EdgeResidentBytes

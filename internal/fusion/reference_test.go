@@ -165,3 +165,66 @@ func TestGreedyMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// TestGreedyMatchesReferenceTies stresses the lazy-heap's tie-breaking:
+// instances built from a tiny set of quantized byte sizes and time
+// constants produce many candidates with bit-identical value densities,
+// where selection order is decided purely by enumeration order. The heap
+// must still land the exact reference sequence.
+func TestGreedyMatchesReferenceTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(30)
+		regions := make([]RegionCost, n)
+		for i := range regions {
+			bytes := int64(1) << (10 + rng.Intn(3)) // three quantized sizes
+			r := RegionCost{
+				TMin:            1e-5,
+				TMax:            1e-5 + float64(bytes)*1e-11*float64(1+rng.Intn(2)),
+				DWeight:         bytes,
+				PinnableWeights: rng.Intn(3) != 0,
+				EdgeProducer:    -1,
+			}
+			r.TWeight = float64(bytes) * 1e-11 // identical density across regions
+			if i > 0 && rng.Intn(2) == 0 {
+				r.EdgeProducer = i - 1 - rng.Intn(min(i, 4))
+				r.EdgeBytes = bytes
+				r.EdgeResidentBytes = bytes
+				r.TEdgeRead = float64(bytes) * 1e-11
+				if rng.Intn(2) == 0 {
+					r.TEdgeWrite = float64(bytes) * 1e-11
+				}
+			}
+			regions[i] = r
+		}
+		producers := make([]int, n)
+		for i := range regions {
+			producers[i] = regions[i].EdgeProducer
+		}
+		usable := UsableEdges(producers, 1+rng.Intn(4))
+		capacity := int64(1) << (11 + rng.Intn(5))
+		wantPin, wantKeep := referenceGreedy(regions, usable, capacity)
+		gotPin, gotKeep := greedy(regions, usable, capacity)
+		if !reflect.DeepEqual(wantPin, gotPin) || !reflect.DeepEqual(wantKeep, gotKeep) {
+			t.Fatalf("tie trial %d (n=%d, cap=%d): greedy diverged from reference\nwant pin %v keep %v\ngot  pin %v keep %v",
+				trial, n, capacity, wantPin, wantKeep, gotPin, gotKeep)
+		}
+	}
+}
+
+// BenchmarkGreedy times the search-trial inner loop on a synthetic
+// 64-region chain (roughly EfficientNet-B7 shaped).
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	regions, usable := randomRegions(rng, 64)
+	for i := range regions {
+		if regions[i].EdgeResidentBytes == 0 {
+			regions[i].EdgeResidentBytes = regions[i].EdgeBytes
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		greedy(regions, usable, 1<<23)
+	}
+}

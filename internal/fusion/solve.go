@@ -2,30 +2,96 @@ package fusion
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"fast/internal/ilp"
 )
+
+// heapCand is one greedy candidate (a weight pin or an edge residency)
+// inside the lazy max-heap: val caches the candidate's value density at
+// the time it was last scored, seq is its enumeration order for
+// tie-breaking, idx the region, bytes the GM footprint.
+type heapCand struct {
+	val    float64
+	seq    int32
+	idx    int32
+	isEdge bool
+	bytes  int64
+}
+
+// candBefore is the heap priority: higher cached density first; among
+// equal densities, earlier enumeration order — exactly the candidate the
+// reference's linear scan (first strict maximum) selects.
+func candBefore(a, b heapCand) bool {
+	if a.val != b.val {
+		return a.val > b.val
+	}
+	return a.seq < b.seq
+}
+
+func candSiftDown(h []heapCand, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		best := l
+		if r := l + 1; r < len(h) && candBefore(h[r], h[l]) {
+			best = r
+		}
+		if !candBefore(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// greedyScratch pools the solver's per-call working memory; Plan.Evaluate
+// runs one greedy per trial, so these buffers are the hottest transient
+// allocations in a search.
+type greedyScratch struct {
+	saved []float64
+	rb    []int64
+	heap  []heapCand
+}
+
+var greedyPool = sync.Pool{New: func() any { return new(greedyScratch) }}
 
 // greedy builds a density-ordered warm start: each candidate (weight pin
 // or edge residency) is taken when its marginal time saving per GM byte
 // is best and capacity allows. Savings saturate at each region's TMin, so
 // marginal values are recomputed as items land.
 //
-// This is the design-dependent inner loop of every search trial, so it
-// avoids the naive implementation's per-test full peak sweep: pinned
-// weights charge every region uniformly, so peak GM usage decomposes as
-// pinnedTotal + max_k(resident_k + BaseGM_k) and each placement test
-// needs only the candidate's own residency interval. Candidate values
-// only ever shrink (saved[] grows monotonically), so zero-value
-// candidates are pruned permanently. Both changes are selection-order
-// preserving: the same candidates land in the same sequence as the
-// reference implementation.
+// This is the design-dependent inner loop of every search trial. Two
+// structural optimizations over the reference implementation, both
+// selection-order preserving (the fuzz test against the frozen reference
+// keeps that claim falsifiable):
+//
+//   - Peak tracking: pinned weights charge every region uniformly, so
+//     peak GM usage decomposes as pinnedTotal + max_k(resident_k +
+//     BaseGM_k) and each placement test needs only the candidate's own
+//     residency interval, not a full sweep.
+//
+//   - Lazy selection: candidate values only ever shrink (saved[] grows
+//     monotonically, so marginal() is non-increasing), which admits the
+//     classic lazy-greedy heap. Candidates sit in a max-heap ordered by
+//     cached density; on pop the top is re-scored — if it decayed it is
+//     pushed back down with its fresh value, if it held it is the true
+//     maximum, because every other cached value is an upper bound on its
+//     own fresh value. Equal densities resolve by enumeration order,
+//     matching the linear scan's first-strict-maximum rule, so the same
+//     candidates land in the same sequence as the reference. This turns
+//     the O(candidates) re-scan per selection into O(log candidates)
+//     amortized.
 func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bool) {
 	n := len(regions)
 	pin = make([]bool, n)
 	keep = make([]bool, n)
-	saved := make([]float64, n)
+	gs := greedyPool.Get().(*greedyScratch)
+	defer greedyPool.Put(gs)
+	saved := resetF64(&gs.saved, n)
 
 	marginal := func(i int, t float64) float64 {
 		r := &regions[i]
@@ -42,27 +108,45 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 		}
 		return v
 	}
-
-	type cand struct {
-		isEdge bool
-		idx    int
-		bytes  int64
+	// density mirrors the reference's scoring arithmetic exactly: raw
+	// marginal first, the per-byte division only when positive.
+	density := func(c heapCand) float64 {
+		var v float64
+		if c.isEdge {
+			v = edgeValue(int(c.idx))
+		} else {
+			v = marginal(int(c.idx), regions[c.idx].TWeight)
+		}
+		if v <= 0 {
+			return 0
+		}
+		if c.bytes > 0 {
+			v /= float64(c.bytes)
+		}
+		return v
 	}
-	var cands []cand
+
+	h := gs.heap[:0]
 	for i := range regions {
 		r := &regions[i]
 		if r.PinnableWeights && r.DWeight > 0 && r.TWeight > 0 {
-			cands = append(cands, cand{false, i, r.DWeight})
+			h = append(h, heapCand{seq: int32(len(h)), idx: int32(i), bytes: r.DWeight})
 		}
 		if usable[i] && r.EdgeResidentBytes > 0 {
-			cands = append(cands, cand{true, i, r.EdgeResidentBytes})
+			h = append(h, heapCand{seq: int32(len(h)), idx: int32(i), isEdge: true, bytes: r.EdgeResidentBytes})
 		}
+	}
+	for i := range h {
+		h[i].val = density(h[i])
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		candSiftDown(h, i)
 	}
 
 	// rb[k] = BaseGM_k plus the edge tensors resident across region k;
 	// residentPeak = max rb[k]. Peak GM usage for any assignment is
 	// pinnedTotal + residentPeak, maintained incrementally.
-	rb := make([]int64, n)
+	rb := resetI64(&gs.rb, n)
 	var residentPeak, pinnedTotal int64
 	for k := range regions {
 		rb[k] = regions[k].BaseGM
@@ -71,41 +155,31 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 		}
 	}
 
-	for len(cands) > 0 {
-		best, bestVal := -1, 0.0
-		w := 0
-		for _, c := range cands {
-			var v float64
-			if c.isEdge {
-				v = edgeValue(c.idx)
-			} else {
-				v = marginal(c.idx, regions[c.idx].TWeight)
-			}
-			if v <= 0 {
-				continue // saved[] only grows: this stays worthless forever
-			}
-			if c.bytes > 0 {
-				v /= float64(c.bytes)
-			}
-			cands[w] = c
-			if v > bestVal {
-				bestVal, best = v, w
-			}
-			w++
+	for len(h) > 0 {
+		if v := density(h[0]); v <= 0 {
+			// Saved[] only grows: this candidate stays worthless forever.
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			candSiftDown(h, 0)
+			continue
+		} else if v < h[0].val {
+			// Stale upper bound: re-key and let the heap re-rank it.
+			h[0].val = v
+			candSiftDown(h, 0)
+			continue
 		}
-		cands = cands[:w]
-		if best < 0 || bestVal <= 0 {
-			break
-		}
-		c := cands[best]
-		cands = append(cands[:best], cands[best+1:]...)
+		c := h[0]
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		candSiftDown(h, 0)
 		// Capacity test over the candidate's own footprint: an edge only
 		// occupies its residency interval [producer, consumer]; a pin
 		// charges every region.
 		if c.isEdge {
-			p := regions[c.idx].EdgeProducer
+			ci := int(c.idx)
+			p := regions[ci].EdgeProducer
 			var top int64
-			for k := p; k <= c.idx; k++ {
+			for k := p; k <= ci; k++ {
 				if rb[k] > top {
 					top = rb[k]
 				}
@@ -118,61 +192,131 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 				continue
 			}
 			residentPeak = peakAfter
-			for k := p; k <= c.idx; k++ {
+			for k := p; k <= ci; k++ {
 				rb[k] += c.bytes
 			}
-			keep[c.idx] = true
-			saved[c.idx] += marginal(c.idx, regions[c.idx].TEdgeRead)
+			keep[ci] = true
+			saved[ci] += marginal(ci, regions[ci].TEdgeRead)
 			if p >= 0 {
-				saved[p] += marginal(p, regions[c.idx].TEdgeWrite)
+				saved[p] += marginal(p, regions[ci].TEdgeWrite)
 			}
 		} else {
+			ci := int(c.idx)
 			if pinnedTotal+c.bytes+residentPeak > capacity {
 				continue
 			}
 			pinnedTotal += c.bytes
-			pin[c.idx] = true
-			saved[c.idx] += marginal(c.idx, regions[c.idx].TWeight)
+			pin[ci] = true
+			saved[ci] += marginal(ci, regions[ci].TWeight)
 		}
 	}
+	gs.heap = h[:0]
 	return pin, keep
+}
+
+// resetF64 grows *s to n and zeroes it.
+func resetF64(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	out := (*s)[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	*s = out
+	return out
+}
+
+// resetI64 grows *s to n and zeroes it.
+func resetI64(s *[]int64, n int) []int64 {
+	if cap(*s) < n {
+		*s = make([]int64, n)
+	}
+	out := (*s)[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	*s = out
+	return out
 }
 
 // solveILP builds the reduced Figure 8 ILP and solves it with
 // branch-and-bound. Variables: w_i (weight pin), e_i (edge residency,
 // consumer-indexed), and shifted continuous T'_i = T_i - TMin_i ≥ 0.
+//
+// The formulation is presolved before it reaches the dense simplex —
+// whose per-pivot cost scales with rows × columns, so dead dimensions
+// are pure overhead at cubic weight:
+//
+//   - fixed-zero binaries (non-pinnable or weightless regions, edges
+//     outside the residency window) are dropped instead of carried as
+//     columns with 0 upper-bound rows;
+//   - T'_i for regions no live binary can affect is the constant
+//     TMax-TMin, dropped from the objective (constants shift every
+//     node's bound equally, so branching is unaffected);
+//   - duplicate capacity rows (runs of regions spanned by the same pins
+//     and edges) collapse to their tightest right-hand side.
+//
+// The reduction is exact: the feasible set over the live binaries and
+// the optimal objective are unchanged, only tie-breaking among equally
+// optimal assignments may differ from the unreduced formulation.
 func solveILP(regions []RegionCost, usable []bool, capacity int64,
 	warmPin, warmKeep []bool, deadline time.Duration) (pin, keep []bool, method string, ok bool) {
 
 	n := len(regions)
-	nv := 2*n + n // w, e, T'
-	decisions := 0
-	for i, r := range regions {
-		if r.PinnableWeights && r.DWeight > 0 {
-			decisions++
-		}
-		if usable[i] {
-			decisions++
+	if n == 0 {
+		return nil, nil, "", false
+	}
+	// Live binary variables, reduced-index maps.
+	wIdx := make([]int, n)
+	eIdx := make([]int, n)
+	vars := 0
+	for i := range regions {
+		wIdx[i] = -1
+		if regions[i].PinnableWeights && regions[i].DWeight > 0 {
+			wIdx[i] = vars
+			vars++
 		}
 	}
-	if n == 0 || decisions == 0 {
+	for i := range regions {
+		eIdx[i] = -1
+		if usable[i] {
+			eIdx[i] = vars
+			vars++
+		}
+	}
+	if vars == 0 {
 		return nil, nil, "", false
+	}
+	// T'_i stays a variable only where a live binary can lower it.
+	tIdx := make([]int, n)
+	nv := vars
+	for i := range regions {
+		tIdx[i] = -1
+		touched := wIdx[i] >= 0 || eIdx[i] >= 0
+		for j := range regions {
+			if eIdx[j] >= 0 && regions[j].EdgeProducer == i {
+				touched = true
+			}
+		}
+		if touched {
+			tIdx[i] = nv
+			nv++
+		}
 	}
 
 	c := make([]float64, nv)
 	u := make([]float64, nv)
 	bin := make([]bool, nv)
-	for i, r := range regions {
-		bin[i] = true // w_i
-		if r.PinnableWeights && r.DWeight > 0 {
-			u[i] = 1
+	for i := 0; i < vars; i++ {
+		bin[i] = true
+		u[i] = 1
+	}
+	for i := range regions {
+		if ti := tIdx[i]; ti >= 0 {
+			c[ti] = 1 // minimize Σ live T'
+			u[ti] = math.Inf(1)
 		}
-		bin[n+i] = true // e_i
-		if usable[i] {
-			u[n+i] = 1
-		}
-		c[2*n+i] = 1 // minimize Σ T'
-		u[2*n+i] = math.Inf(1)
 	}
 
 	var a [][]float64
@@ -180,44 +324,73 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 
 	// T'_i ≥ (TMax-TMin) - TWeight·w_i - TEdgeRead·e_i - Σ_{j: prod(j)=i} TEdgeWrite_j·e_j.
 	for i, r := range regions {
+		ti := tIdx[i]
+		if ti < 0 {
+			continue
+		}
 		row := make([]float64, nv)
-		row[2*n+i] = -1
-		row[i] = -r.TWeight
-		row[n+i] -= r.TEdgeRead
+		row[ti] = -1
+		if wIdx[i] >= 0 {
+			row[wIdx[i]] = -r.TWeight
+		}
+		if eIdx[i] >= 0 {
+			row[eIdx[i]] -= r.TEdgeRead
+		}
 		for j, rj := range regions {
-			if usable[j] && rj.EdgeProducer == i {
-				row[n+j] -= rj.TEdgeWrite
+			if eIdx[j] >= 0 && rj.EdgeProducer == i {
+				row[eIdx[j]] -= rj.TEdgeWrite
 			}
 		}
 		a = append(a, row)
 		b = append(b, -(r.TMax - r.TMin))
 	}
 
-	// Capacity per region k: Σ_j W_j w_j + Σ_{edges spanning k} bytes·e_j ≤ C - B_k.
+	// Capacity per region k: Σ_j W_j w_j + Σ_{edges spanning k} bytes·e_j
+	// ≤ C - B_k. Consecutive regions often see the identical left-hand
+	// side (pins charge every row; an edge charges its whole residency
+	// interval), so identical rows keep only their tightest bound.
+	tight := make(map[string]int) // row signature → index into a/b
+	sig := make([]byte, 0, vars*8)
 	for k, rk := range regions {
 		row := make([]float64, nv)
 		for j, rj := range regions {
-			row[j] = float64(rj.DWeight)
-			if usable[j] && rj.EdgeProducer <= k && k <= j {
-				row[n+j] += float64(rj.EdgeResidentBytes)
+			if wIdx[j] >= 0 {
+				row[wIdx[j]] = float64(rj.DWeight)
+			}
+			if eIdx[j] >= 0 && rj.EdgeProducer <= k && k <= j {
+				row[eIdx[j]] += float64(rj.EdgeResidentBytes)
 			}
 		}
+		rhs := float64(capacity - rk.BaseGM)
+		sig = sig[:0]
+		for i := 0; i < vars; i++ {
+			bits := math.Float64bits(row[i])
+			sig = append(sig, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+				byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+		}
+		if prev, dup := tight[string(sig)]; dup {
+			if rhs < b[prev] {
+				b[prev] = rhs
+			}
+			continue
+		}
+		tight[string(sig)] = len(a)
 		a = append(a, row)
-		b = append(b, float64(capacity-rk.BaseGM))
+		b = append(b, rhs)
 	}
 
 	warm := make([]float64, nv)
-	for i := range regions {
-		if warmPin[i] {
-			warm[i] = 1
-		}
-		if warmKeep[i] {
-			warm[n+i] = 1
-		}
-	}
 	saved := savedByRegion(regions, warmPin, warmKeep)
 	for i, r := range regions {
-		warm[2*n+i] = math.Max(0, (r.TMax-r.TMin)-saved[i])
+		if warmPin[i] && wIdx[i] >= 0 {
+			warm[wIdx[i]] = 1
+		}
+		if warmKeep[i] && eIdx[i] >= 0 {
+			warm[eIdx[i]] = 1
+		}
+		if ti := tIdx[i]; ti >= 0 {
+			warm[ti] = math.Max(0, (r.TMax-r.TMin)-saved[i])
+		}
 	}
 
 	res, err := ilp.Solve(ilp.Problem{C: c, A: a, B: b, U: u, Binary: bin}, ilp.Options{
@@ -230,8 +403,8 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 	pin = make([]bool, n)
 	keep = make([]bool, n)
 	for i := 0; i < n; i++ {
-		pin[i] = res.X[i] > 0.5
-		keep[i] = res.X[n+i] > 0.5
+		pin[i] = wIdx[i] >= 0 && res.X[wIdx[i]] > 0.5
+		keep[i] = eIdx[i] >= 0 && res.X[eIdx[i]] > 0.5
 	}
 	method = "ilp-incumbent"
 	if res.Optimal {

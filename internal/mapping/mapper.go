@@ -40,7 +40,7 @@ func (s Scheme) String() string {
 // the per-op hot path of Plan.Evaluate allocates nothing.
 var allSchemes = [...]Scheme{WeightStationary, OutputStationary, Conv1D}
 
-// AllSchemes lists every mapping scheme.
+// AllSchemes lists every mapping scheme, in the order Best tries them.
 func AllSchemes() []Scheme { return append([]Scheme(nil), allSchemes[:]...) }
 
 // Options controls the mapper.
@@ -51,6 +51,40 @@ type Options struct {
 	DisablePadding bool
 	// Schemes restricts the mapping families searched (nil = all).
 	Schemes []Scheme
+}
+
+// EffectiveSchemes returns the scheme sequence Best actually iterates:
+// the full universe when Schemes is nil, Schemes otherwise (including a
+// non-nil empty slice, which maps nothing). The result is a copy, safe
+// to mutate; the hot paths use the non-copying effectiveSchemes.
+func (o Options) EffectiveSchemes() []Scheme {
+	return append([]Scheme(nil), o.effectiveSchemes()...)
+}
+
+// effectiveSchemes is EffectiveSchemes without the defensive copy; the
+// result aliases package or caller state and must be treated read-only.
+func (o Options) effectiveSchemes() []Scheme {
+	if o.Schemes == nil {
+		return allSchemes[:]
+	}
+	return o.Schemes
+}
+
+// SchemeKey fingerprints the effective scheme sequence for memoization:
+// caches of mapper results keyed only by datapath parameters would let a
+// restricted-scheme search (Options.Schemes) silently hit entries
+// computed under the full universe, so any such cache must mix this key
+// in. The encoding is order-sensitive (Best resolves equal-cycle ties to
+// the earlier scheme) and distinguishes nil from a non-nil empty slice
+// via a length prefix; nil deliberately shares the key of an explicit
+// AllSchemes() list, which Best treats identically.
+func (o Options) SchemeKey() uint64 {
+	schemes := o.effectiveSchemes()
+	k := uint64(len(schemes)) + 1 // +1 keeps "none" (0 schemes) distinct from a zero key
+	for _, s := range schemes {
+		k = k<<3 | (uint64(s) + 1)
+	}
+	return k
 }
 
 // Mapping is the mapper's result for one problem on one datapath.
@@ -215,10 +249,7 @@ func min64(a, b int64) int64 {
 // with the fewest cycles; the result is Failed only if every scheme
 // fails.
 func Best(p Problem, c *arch.Config, o Options) Mapping {
-	schemes := o.Schemes
-	if schemes == nil {
-		schemes = allSchemes[:]
-	}
+	schemes := o.effectiveSchemes()
 	var best Mapping
 	best.Failed = true
 	best.Reason = "no schemes attempted"

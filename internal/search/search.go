@@ -31,6 +31,16 @@ type Evaluation struct {
 // Objective evaluates a hyperparameter vector.
 type Objective func(idx [arch.NumParams]int) Evaluation
 
+// BatchObjective evaluates a whole slice of hyperparameter vectors at
+// once, returning exactly one Evaluation per vector, positionally
+// aligned. Drivers use it when the evaluator can amortize shared work
+// across a batch (sim.Plan.EvaluateBatch memoizes per-stage results by
+// parameter sub-key, so a batch of near-identical proposals — the shape
+// adaptive optimizers emit — mostly hits warm caches). A BatchObjective
+// must be equivalent to mapping Objective over the batch: same values,
+// any evaluation order.
+type BatchObjective func(idxs [][arch.NumParams]int) []Evaluation
+
 // Trial records one evaluated point.
 type Trial struct {
 	Index [arch.NumParams]int

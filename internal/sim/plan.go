@@ -87,8 +87,10 @@ type planRegion struct {
 
 // Plan is a compiled simulation: every design-independent analysis of one
 // (workload graph, Options) pair, ready to be evaluated against any
-// number of candidate datapaths. A Plan is immutable after Compile and
-// safe for concurrent Evaluate calls from many goroutines.
+// number of candidate datapaths. The compiled data is immutable after
+// Compile; the stage caches (see stages.go) are internally synchronized,
+// so a Plan is safe for concurrent Evaluate/EvaluateBatch calls from
+// many goroutines.
 type Plan struct {
 	graph *hlo.Graph
 	opts  Options
@@ -109,6 +111,21 @@ type Plan struct {
 	// softmax op, and the tie resolves to three-pass, so AutoSoftmax
 	// evaluation can skip the second pass entirely.
 	hasSoftmax bool
+
+	// schemeKey fingerprints opts.Mapping's effective scheme set; it
+	// participates in every mapping-stage cache key (see stages.go).
+	schemeKey uint64
+	// pm is the resolved power model (opts.PowerModel or power.Default),
+	// hoisted out of the per-trial roll-up.
+	pm *power.Model
+
+	// Parameter-sliced stage caches, memoizing design-dependent work
+	// across trials by the sub-tuple of config parameters each stage
+	// reads (see stages.go).
+	mapCache    stageCache[mapKey, []mapping.Mapping]
+	floorCache  stageCache[int64, []int64]
+	fusionCache stageCache[fusionKey, fusionAssignment]
+	powerCache  stageCache[powerKey, power.Breakdown]
 }
 
 // Graph returns the workload graph the plan was compiled from.
@@ -127,7 +144,11 @@ func Compile(g *hlo.Graph, opts Options) (*Plan, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Plan{graph: g, opts: opts}
+	p := &Plan{graph: g, opts: opts, schemeKey: opts.Mapping.SchemeKey()}
+	p.pm = opts.PowerModel
+	if p.pm == nil {
+		p.pm = power.Default()
+	}
 	if opts.PartitionNone {
 		p.part = hlo.PartitionNone(g)
 	} else {
@@ -199,80 +220,71 @@ func Compile(g *hlo.Graph, opts Options) (*Plan, error) {
 	return p, nil
 }
 
-// evalScratch memoizes per-design mapper results by dense problem index.
-// One scratch serves both softmax-variant evaluations of an AutoSoftmax
-// run: the mapper never depends on the softmax algorithm.
-type evalScratch struct {
-	mapped []mapping.Mapping
-	extra  []int64
-	have   []bool
-}
-
-func newScratch(n int) *evalScratch {
-	return &evalScratch{
-		mapped: make([]mapping.Mapping, n),
-		extra:  make([]int64, n),
-		have:   make([]bool, n),
-	}
-}
-
 // Evaluate runs the design-dependent half of the simulation: schedule
 // mapping over the plan's unique matrix problems, fusion placement among
-// the precompiled candidates, and the latency/power roll-up. It is safe
-// to call concurrently on one shared Plan, and produces bit-identical
-// Results to Simulate(plan.Graph(), cfg, plan.Options()).
+// the precompiled candidates, and the latency/power roll-up — each stage
+// memoized across trials by the config sub-tuple it reads (stages.go).
+// It is safe to call concurrently on one shared Plan, and produces
+// bit-identical Results to Simulate(plan.Graph(), cfg, plan.Options()).
 func (p *Plan) Evaluate(cfg *arch.Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	scratch := newScratch(len(p.problems))
+	return p.evaluateValidated(cfg), nil
+}
+
+// evaluateValidated fetches the memoized stages for cfg and runs the
+// softmax-variant selection over them. One stage fetch serves both
+// variant evaluations of an AutoSoftmax run: the mapper never depends on
+// the softmax algorithm.
+func (p *Plan) evaluateValidated(cfg *arch.Config) *Result {
+	mapped := p.mappedFor(cfg)
+	extras := p.floorFor(capacityBytes(cfg))
 	if p.opts.AutoSoftmax {
-		a := p.evaluate(cfg, vpu.ThreePass, scratch)
+		a := p.evaluate(cfg, vpu.ThreePass, mapped, extras)
 		if !p.hasSoftmax {
 			// No softmax op: the two-pass variant would produce the
 			// identical timeline, and the a/b tie resolves to a.
-			return a, nil
+			return a
 		}
-		b := p.evaluate(cfg, vpu.TwoPass, scratch)
+		b := p.evaluate(cfg, vpu.TwoPass, mapped, extras)
 		if !b.ScheduleFailed && (a.ScheduleFailed || b.LatencySec < a.LatencySec) {
-			return b, nil
+			return b
 		}
-		return a, nil
+		return a
 	}
 	alg := vpu.ThreePass
 	if p.opts.TwoPassSoftmax {
 		alg = vpu.TwoPass
 	}
-	return p.evaluate(cfg, alg, scratch), nil
+	return p.evaluate(cfg, alg, mapped, extras)
 }
 
 // evaluate is the per-design hot path. It mirrors the pre-split
 // simulate() arithmetic exactly — same operations, same order — reading
-// every design-independent quantity from the plan's flat tables.
-func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, scratch *evalScratch) *Result {
+// every design-independent quantity from the plan's flat tables and
+// every memoized stage result (mapped, extras) from the stage caches.
+func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, mapped []mapping.Mapping, extras []int64) *Result {
 	g, opts := p.graph, p.opts
 	res := &Result{Graph: g, Config: cfg, SoftmaxAlgorithm: alg}
 
 	perCoreBW := cfg.PeakBandwidthGBs() * 1e9 / float64(cfg.Cores)
 	clock := cfg.ClockGHz * 1e9
 
-	// Effective blocking capacity for the mapper's traffic floor: the
-	// largest on-chip level available for working tiles.
-	capBytes := cfg.GlobalBytes()
-	if capBytes == 0 {
-		capBytes = cfg.NumPEs() * cfg.L2BytesPerPE()
-	}
-	if capBytes == 0 {
-		capBytes = cfg.NumPEs() * cfg.L1BytesPerPE()
-	}
+	capBytes := capacityBytes(cfg)
 
 	algIdx := 0
 	if alg == vpu.TwoPass {
 		algIdx = 1
 	}
 
-	costs := make([]fusion.RegionCost, len(p.regions))
+	scratch := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(scratch)
+	costs := scratch.regionCosts(len(p.regions))
 	stats := make([]RegionStats, len(p.regions))
+	// One backing array serves every region's op shares (they escape
+	// into the Result, but as subslices of a single allocation).
+	shareBacking := make([]OpShare, 0, len(p.ops))
 	var totalFLOPs, matrixFLOPs int64
 
 	for ri := range p.regions {
@@ -286,7 +298,7 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, scratch *eva
 		var matrixSec, vectorSec, serialSec float64
 		var extraBytes int64
 		pinnable := true
-		shares := make([]OpShare, 0, pr.hi-pr.lo)
+		shares := shareBacking[pr.lo:pr.lo:pr.hi]
 
 		for oi := pr.lo; oi < pr.hi; oi++ {
 			po := &p.ops[oi]
@@ -298,19 +310,14 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, scratch *eva
 				vectorSec += opSec
 			case classMatrix:
 				pi := po.problem
-				if !scratch.have[pi] {
-					scratch.mapped[pi] = mapping.Best(p.problems[pi], cfg, opts.Mapping)
-					scratch.extra[pi] = mapping.TrafficFloor(p.problems[pi], capBytes) - p.compulsory[pi]
-					scratch.have[pi] = true
-				}
-				m := scratch.mapped[pi]
+				m := mapped[pi]
 				if m.Failed {
 					res.ScheduleFailed = true
 					res.FailReason = fmt.Sprintf("op %q: %s", po.op.Name, m.Reason)
 					return res
 				}
 				opSec = m.Cycles / clock
-				opExtra = scratch.extra[pi]
+				opExtra = extras[pi]
 				if !p.problems[pi].WeightsStationary {
 					pinnable = false
 				}
@@ -395,7 +402,7 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, scratch *eva
 		matrixFLOPs += io.MatrixFLOPs
 	}
 
-	sol := fusion.OptimizePlanned(costs, p.usable, cfg.GlobalBytes(), opts.Fusion)
+	sol := p.fusionFor(cfg, algIdx, costs)
 	res.Fusion = sol
 
 	// Post-fusion DRAM traffic per region.
@@ -452,11 +459,7 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, scratch *eva
 		res.FusionEfficiency = (preLatency - latency) / stall
 	}
 
-	pm := opts.PowerModel
-	if pm == nil {
-		pm = power.Default()
-	}
-	eval := pm.Evaluate(cfg)
+	eval := p.powerFor(cfg)
 	res.TDPWatts = eval.TotalPower()
 	res.AreaMM2 = eval.TotalArea()
 	if res.TDPWatts > 0 {

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/models"
+)
+
+// TestEvaluateBatchMatchesEvaluate is the batched half of the
+// differential property: for every registry model × option set,
+// EvaluateBatch over the reference designs must return results
+// bit-identical to per-design Evaluate AND to the frozen pre-split
+// simulator, in input order, regardless of the internal sub-key sort.
+func TestEvaluateBatchMatchesEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential sweep is not short")
+	}
+	for _, model := range models.Names() {
+		g := models.MustBuild(model, 128)
+		for optName, opts := range planOptionSets() {
+			label := fmt.Sprintf("%s/%s", model, optName)
+			plan, err := Compile(g, opts)
+			if err != nil {
+				t.Fatalf("%s: Compile: %v", label, err)
+			}
+			designs := planDesigns()
+			batch, err := plan.EvaluateBatch(designs)
+			if err != nil {
+				t.Fatalf("%s: EvaluateBatch: %v", label, err)
+			}
+			if len(batch) != len(designs) {
+				t.Fatalf("%s: batch returned %d results for %d designs", label, len(batch), len(designs))
+			}
+			for i, cfg := range designs {
+				want, err := referenceSimulate(g, cfg, opts)
+				if err != nil {
+					t.Fatalf("%s/%s: referenceSimulate: %v", label, cfg.Name, err)
+				}
+				sameResult(t, label+"/"+cfg.Name+" (batch vs frozen reference)", want, batch[i])
+				serial, err := plan.Evaluate(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: Evaluate: %v", label, cfg.Name, err)
+				}
+				sameResult(t, label+"/"+cfg.Name+" (batch vs serial)", serial, batch[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchRejectsInvalid: any invalid design fails the whole
+// batch with its position in the error.
+func TestEvaluateBatchRejectsInvalid(t *testing.T) {
+	g := models.MustBuild("efficientnet-b0", 8)
+	plan, err := Compile(g, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := arch.FASTLarge().Clone("bad")
+	bad.PEsX = 3 // not a power of two
+	if _, err := plan.EvaluateBatch([]*arch.Config{arch.FASTLarge(), bad}); err == nil {
+		t.Fatal("EvaluateBatch accepted an invalid design")
+	}
+}
+
+// randomSweep draws n random designs from the Table 3 space around the
+// FAST platform — the design distribution an optimizer batch feeds
+// EvaluateBatch — with heavy parameter sharing between neighbours
+// (each design mutates a few coordinates of the previous one), which is
+// exactly the shape that exercises stage-cache reuse across sub-keys.
+func randomSweep(rng *rand.Rand, n int) []*arch.Config {
+	s := arch.Space{}
+	base := arch.FASTLarge()
+	dims := s.Dims()
+	var idx [arch.NumParams]int
+	for d, card := range dims {
+		idx[d] = rng.Intn(card)
+	}
+	out := make([]*arch.Config, n)
+	for i := range out {
+		out[i] = s.Decode(idx, base)
+		out[i].Name = fmt.Sprintf("sweep-%d", i)
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			d := rng.Intn(arch.NumParams)
+			idx[d] = rng.Intn(dims[d])
+		}
+	}
+	return out
+}
+
+// TestEvaluateBatchFuzzSweeps fuzzes the factored/batched evaluator over
+// random design sweeps: every result must stay bit-identical to the
+// frozen pre-split simulator. This is the test that would catch a stage
+// cache keyed too narrowly (a hit returning another design's stage).
+func TestEvaluateBatchFuzzSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep is not short")
+	}
+	rng := rand.New(rand.NewSource(29))
+	workloads := []string{"efficientnet-b0", "bert-1024"}
+	for _, w := range workloads {
+		g := models.MustBuild(w, 8)
+		for optName, opts := range planOptionSets() {
+			plan, err := Compile(g, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: Compile: %v", w, optName, err)
+			}
+			for round := 0; round < 4; round++ {
+				sweep := randomSweep(rng, 24)
+				batch, err := plan.EvaluateBatch(sweep)
+				if err != nil {
+					t.Fatalf("%s/%s: EvaluateBatch: %v", w, optName, err)
+				}
+				for i, cfg := range sweep {
+					want, err := referenceSimulate(g, cfg, opts)
+					if err != nil {
+						t.Fatalf("%s/%s/%s: referenceSimulate: %v", w, optName, cfg.Name, err)
+					}
+					label := fmt.Sprintf("%s/%s round %d design %d", w, optName, round, i)
+					sameResult(t, label, want, batch[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchConcurrent hammers one shared Plan with EvaluateBatch
+// from many goroutines over overlapping design sweeps; under -race it
+// proves the stage caches synchronize correctly, and every concurrent
+// result must still be bit-identical to its serial Evaluate.
+func TestEvaluateBatchConcurrent(t *testing.T) {
+	g := models.MustBuild("efficientnet-b0", 128)
+	plan, err := Compile(g, FASTOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	sweep := append(randomSweep(rng, 24), planDesigns()...)
+	refs := make([]*Result, len(sweep))
+	for i, cfg := range sweep {
+		if refs[i], err = plan.Evaluate(cfg); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker walks a rotated view of the sweep so batches
+			// overlap but differ in order.
+			local := make([]*arch.Config, len(sweep))
+			want := make([]*Result, len(sweep))
+			for i := range sweep {
+				j := (i + w*3) % len(sweep)
+				local[i], want[i] = sweep[j], refs[j]
+			}
+			for round := 0; round < rounds; round++ {
+				got, err := plan.EvaluateBatch(local)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				for i := range got {
+					if !reflect.DeepEqual(want[i], got[i]) {
+						errs <- fmt.Errorf("worker %d: concurrent batch result %d diverged", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

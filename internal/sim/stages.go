@@ -1,0 +1,304 @@
+package sim
+
+// Factored evaluation: parameter-sliced stage memoization.
+//
+// FAST's search loop evaluates thousands of designs drawn from a
+// Cartesian grid of discrete hyperparameters, so consecutive trials share
+// most of their architecture parameters. Plan.Evaluate exploits that by
+// splitting its design-dependent work into stages keyed by the sub-tuple
+// of arch.Config parameters each stage actually reads, and memoizing the
+// stages across trials in sharded per-Plan caches:
+//
+//   - mapping stage: the schedule mapper reads only the PE grid, the
+//     systolic-array dims, and the L1 discipline/sizes (plus the plan's
+//     mapping options, whose scheme restriction participates in the key
+//     via mapping.Options.SchemeKey — a restricted-scheme search must
+//     never hit a full-universe entry). Keyed by
+//     arch.Config.SubKey(mappingParams) + the scheme key.
+//
+//   - residency stage: the mapper's DRAM-traffic floor beyond compulsory
+//     bytes reads only the effective blocking capacity, so it is keyed by
+//     that derived byte count directly — every memory-hierarchy shape
+//     with the same capacity shares one entry.
+//
+//   - fusion stage: the placement assignment (which regions pin weights,
+//     which keep their primary edge in Global Memory) is a deterministic
+//     function of the per-region cost table, which in turn folds every
+//     searched parameter except the native batch (the batch only selects
+//     the plan), plus clock and memory technology. The assignment — the
+//     expensive half: greedy selection, optionally the ILP — is memoized;
+//     the cheap per-design roll-up (times, peak usage) is re-derived from
+//     it via fusion.ResolvePlanned. This is what makes re-evaluating a
+//     winning design with the full ILP solve (Study.Run's final pass,
+//     EvaluateDesign harnesses) nearly free after the first solve.
+//
+//   - roll-up stage: the power/area roll-up reads sizes, widths and the
+//     fixed platform attributes (cores, clock, memory technology), but
+//     not the L1 sharing discipline or the native batch.
+//
+// Stage values are computed at most once per key (sync.Once entries), are
+// immutable afterwards, and are shared read-only by every concurrent
+// Evaluate — which also deduplicates work when EvaluateBatch fans a batch
+// across Runner workers. Keys cover exactly the fields a stage reads, so
+// a cache hit is bit-identical to recomputation (the differential and
+// fuzz tests in plan_test.go enforce this against the frozen pre-split
+// simulator).
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fast/internal/arch"
+	"fast/internal/fusion"
+	"fast/internal/mapping"
+	"fast/internal/power"
+)
+
+// mappingParams is the sub-tuple of searched hyperparameters the schedule
+// mapper reads: tile geometry (systolic dims), PE-grid parallelism, and
+// L1 feasibility (sharing discipline + scratchpad sizes). The mapper
+// never sees L2, Global Memory, DRAM channels, the VPU width, or the
+// native batch — nor any fixed platform attribute.
+var mappingParams = arch.MaskOf(
+	arch.PPEsX, arch.PPEsY, arch.PSAx, arch.PSAy,
+	arch.PL1Config, arch.PL1Input, arch.PL1Weight, arch.PL1Output,
+)
+
+// powerParams is the sub-tuple the power/area roll-up reads: everything
+// except the L1 sharing discipline (capacity matters, banking does not)
+// and the native batch. The fixed platform attributes it also reads
+// (cores, clock, memory technology) ride in powerKey beside the sub-key.
+var powerParams = arch.AllParams &^ arch.MaskOf(arch.PL1Config, arch.PNativeBatch)
+
+// mapKey identifies one mapping-stage cache entry.
+type mapKey struct {
+	sub uint64
+	// schemes is the plan's mapping.Options.SchemeKey(): defensive
+	// against any future sharing of stage caches across plans, and the
+	// reason a restricted-scheme search can never alias a full-universe
+	// entry.
+	schemes uint64
+}
+
+// powerKey identifies one roll-up cache entry: the searched sub-tuple
+// plus the fixed platform attributes the power model reads.
+type powerKey struct {
+	sub   uint64
+	cores int64
+	clock float64
+	mem   arch.MemTech
+}
+
+// fusionParams is the sub-tuple the fusion stage depends on: the
+// per-region cost table folds mapping cycles, VPU and DRAM times, and
+// capacity decisions, touching every searched parameter except the
+// native batch.
+var fusionParams = arch.AllParams &^ arch.MaskOf(arch.PNativeBatch)
+
+// fusionKey identifies one fusion-stage cache entry; alg distinguishes
+// the softmax variant (it changes vector times and DRAM extras, and so
+// the cost table).
+type fusionKey struct {
+	sub   uint64
+	cores int64
+	clock float64
+	mem   arch.MemTech
+	alg   uint8
+}
+
+// fusionAssignment is a memoized placement decision; the slices are
+// cache-owned and read-only (ResolvePlanned copies them).
+type fusionAssignment struct {
+	pin, keep []bool
+	method    string
+}
+
+const (
+	// stageShards spreads cache entries over independently locked shards
+	// so concurrent Evaluate calls rarely contend.
+	stageShards = 16
+	// stageShardCap bounds each shard; a full shard is dropped wholesale
+	// (recomputation is deterministic, so eviction can never change a
+	// result). Bounds per-plan cache memory in long-lived processes.
+	stageShardCap = 256
+)
+
+// stageCache is a sharded once-per-key memo table. Entries are computed
+// at most once and immutable afterwards; the shard lock covers only the
+// map access, never the compute.
+type stageCache[K comparable, V any] struct {
+	shards [stageShards]struct {
+		mu sync.Mutex
+		m  map[K]*stageEntry[V]
+	}
+}
+
+type stageEntry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// get returns the memoized value for key, computing it on first use.
+// hash only picks the shard; the full key disambiguates within it.
+func (c *stageCache[K, V]) get(hash uint64, key K, compute func() V) V {
+	s := &c.shards[hash%stageShards]
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		if s.m == nil || len(s.m) >= stageShardCap {
+			s.m = make(map[K]*stageEntry[V], 8)
+		}
+		e = new(stageEntry[V])
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.v = compute() })
+	return e.v
+}
+
+// mix is a Fibonacci-style bit mixer for shard selection.
+func mix(x uint64) uint64 {
+	x *= 0x9E3779B97F4A7C15
+	return x ^ x>>32
+}
+
+// capacityBytes is the effective blocking capacity for the mapper's
+// traffic floor: the largest on-chip level available for working tiles.
+func capacityBytes(cfg *arch.Config) int64 {
+	capBytes := cfg.GlobalBytes()
+	if capBytes == 0 {
+		capBytes = cfg.NumPEs() * cfg.L2BytesPerPE()
+	}
+	if capBytes == 0 {
+		capBytes = cfg.NumPEs() * cfg.L1BytesPerPE()
+	}
+	return capBytes
+}
+
+// mappedFor returns the mapping-stage results for cfg: the best schedule
+// mapping of every unique matrix problem, in dense problem order. The
+// slice is cache-owned and read-only.
+func (p *Plan) mappedFor(cfg *arch.Config) []mapping.Mapping {
+	key := mapKey{sub: cfg.SubKey(mappingParams), schemes: p.schemeKey}
+	return p.mapCache.get(mix(key.sub^key.schemes), key, func() []mapping.Mapping {
+		out := make([]mapping.Mapping, len(p.problems))
+		for i := range p.problems {
+			out[i] = mapping.Best(p.problems[i], cfg, p.opts.Mapping)
+		}
+		return out
+	})
+}
+
+// floorFor returns the residency-stage results for an effective blocking
+// capacity: each unique problem's DRAM-traffic floor beyond its
+// compulsory bytes. The slice is cache-owned and read-only.
+func (p *Plan) floorFor(capBytes int64) []int64 {
+	return p.floorCache.get(mix(uint64(capBytes)), capBytes, func() []int64 {
+		out := make([]int64, len(p.problems))
+		for i := range p.problems {
+			out[i] = mapping.TrafficFloor(p.problems[i], capBytes) - p.compulsory[i]
+		}
+		return out
+	})
+}
+
+// powerFor returns the roll-up stage for cfg: the power/area breakdown
+// under the plan's power model.
+func (p *Plan) powerFor(cfg *arch.Config) power.Breakdown {
+	key := powerKey{
+		sub:   cfg.SubKey(powerParams),
+		cores: cfg.Cores,
+		clock: cfg.ClockGHz,
+		mem:   cfg.Mem,
+	}
+	h := mix(key.sub ^ uint64(key.cores)<<40 ^ uint64(key.mem)<<56)
+	return p.powerCache.get(h, key, func() power.Breakdown {
+		return p.pm.Evaluate(cfg)
+	})
+}
+
+// fusionFor returns the fusion Solution for cfg under the given softmax
+// variant: the placement assignment comes from the stage cache (first
+// caller pays the greedy/ILP solve), the per-design roll-up is re-derived
+// fresh so every Result owns its Solution slices.
+func (p *Plan) fusionFor(cfg *arch.Config, algIdx int, costs []fusion.RegionCost) fusion.Solution {
+	key := fusionKey{
+		sub:   cfg.SubKey(fusionParams),
+		cores: cfg.Cores,
+		clock: cfg.ClockGHz,
+		mem:   cfg.Mem,
+		alg:   uint8(algIdx),
+	}
+	h := mix(key.sub ^ uint64(key.cores)<<40 ^ uint64(key.mem)<<56 ^ uint64(key.alg)<<60)
+	asn := p.fusionCache.get(h, key, func() fusionAssignment {
+		pin, keep, method := fusion.SolvePlanned(costs, p.usable, cfg.GlobalBytes(), p.opts.Fusion)
+		return fusionAssignment{pin: pin, keep: keep, method: method}
+	})
+	return fusion.ResolvePlanned(costs, cfg.GlobalBytes(), asn.pin, asn.keep, asn.method)
+}
+
+// evalScratch pools the per-evaluate working memory that does not escape
+// into the Result: the fusion region-cost table. (Per-region stats and
+// op shares are part of the returned Result and cannot be pooled.)
+type evalScratch struct {
+	costs []fusion.RegionCost
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// regionCosts returns a zeroed region-cost buffer of length n; the
+// owning evalScratch goes back via scratchPool.Put when the evaluation
+// is done with the buffer.
+func (s *evalScratch) regionCosts(n int) []fusion.RegionCost {
+	if cap(s.costs) < n {
+		s.costs = make([]fusion.RegionCost, n)
+	}
+	s.costs = s.costs[:n]
+	for i := range s.costs {
+		s.costs[i] = fusion.RegionCost{}
+	}
+	return s.costs
+}
+
+// EvaluateBatch evaluates many candidate datapaths against one compiled
+// plan. Results are bit-identical to calling Evaluate per design — and
+// positionally aligned with cfgs — but the batch is walked in
+// mapping-sub-key order (capacity as the secondary key), so designs that
+// share a stage land consecutively and hit the stage caches while they
+// are hot. Ask/tell optimizer batches are exactly this shape:
+// consecutive proposals perturb a few parameters around incumbents, so
+// most of a sorted batch shares its mapping and residency stages.
+//
+// Every config is validated up front; an invalid design fails the whole
+// batch (the search engine filters infeasible decodes before reaching
+// the simulator). Safe for concurrent use on one shared Plan.
+func (p *Plan) EvaluateBatch(cfgs []*arch.Config) ([]*Result, error) {
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: batch design %d: %w", i, err)
+		}
+	}
+	type sortKey struct {
+		sub uint64
+		cap int64
+	}
+	keys := make([]sortKey, len(cfgs))
+	order := make([]int, len(cfgs))
+	for i, cfg := range cfgs {
+		keys[i] = sortKey{sub: cfg.SubKey(mappingParams), cap: capacityBytes(cfg)}
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka.sub != kb.sub {
+			return ka.sub < kb.sub
+		}
+		return ka.cap < kb.cap
+	})
+	results := make([]*Result, len(cfgs))
+	for _, i := range order {
+		results[i] = p.evaluateValidated(cfgs[i])
+	}
+	return results, nil
+}

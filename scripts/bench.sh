@@ -2,55 +2,62 @@
 # bench.sh — run the perf-trajectory benchmarks and emit BENCH_PR<N>.json.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR2.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_PR3.json in the repo root
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=10x scripts/bench.sh   # more iterations per benchmark
 #
 # The JSON records end-to-end search throughput (trials/sec at
-# parallelism 1 and 4 on BenchmarkSearchThroughput) and the split-phase
-# simulator costs (ns/op for sim.Compile vs Plan.Evaluate), plus the PR 1
-# pre-split baseline for the same benchmark so the trajectory is
-# self-describing. Override PR1_TRIALS_P1/PR1_TRIALS_P4 when re-baselining
+# parallelism 1 and 4 on BenchmarkSearchThroughput), the split-phase
+# simulator costs (ns/op and allocs/op for sim.Compile, the warm-cache
+# Plan.Evaluate, and the cold sweep-shaped Plan.EvaluateBatch), plus the
+# PR 2 baseline for the same benchmark so the trajectory is
+# self-describing. Override PR2_TRIALS_P1/PR2_TRIALS_P4 when re-baselining
 # on different hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR2.json}
-BENCHTIME=${BENCHTIME:-5x}
-# PR 1 numbers measured on the reference box (single-core Xeon 2.10GHz)
-# immediately before the Compile/Evaluate split landed.
-PR1_TRIALS_P1=${PR1_TRIALS_P1:-1480}
-PR1_TRIALS_P4=${PR1_TRIALS_P4:-1512}
+OUT=${1:-BENCH_PR3.json}
+BENCHTIME=${BENCHTIME:-10x}
+# PR 2 numbers measured on the reference box (single-core Xeon 2.10GHz)
+# immediately before the factored/memoized evaluator landed (see
+# BENCH_PR2.json).
+PR2_TRIALS_P1=${PR2_TRIALS_P1:-4555}
+PR2_TRIALS_P4=${PR2_TRIALS_P4:-4810}
 
 RAW=$(go test -run '^$' \
-	-bench 'BenchmarkSearchThroughput|^BenchmarkCompile$|^BenchmarkEvaluate$' \
+	-bench 'BenchmarkSearchThroughput|^BenchmarkCompile$|^BenchmarkEvaluate$|^BenchmarkEvaluateBatch$' \
 	-benchtime "$BENCHTIME" .)
 echo "$RAW"
 
 echo "$RAW" | awk \
 	-v out="$OUT" -v bt="$BENCHTIME" \
-	-v p1base="$PR1_TRIALS_P1" -v p4base="$PR1_TRIALS_P4" '
+	-v p1base="$PR2_TRIALS_P1" -v p4base="$PR2_TRIALS_P4" '
+# Benchmark lines with ReportAllocs look like:
+#   Name  N  <ns> ns/op  [<metric> <unit>]  <B> B/op  <allocs> allocs/op
+function allocs(   i) { for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op") return $i; return "" }
 /^BenchmarkSearchThroughput\/parallel-1/ { tp1 = $5 }
 /^BenchmarkSearchThroughput\/parallel-4/ { tp4 = $5 }
-/^BenchmarkCompile(-[0-9]+)?[ \t]/       { cns = $3 }
-/^BenchmarkEvaluate(-[0-9]+)?[ \t]/      { ens = $3 }
+/^BenchmarkCompile(-[0-9]+)?[ \t]/       { cns = $3; cal = allocs() }
+/^BenchmarkEvaluate(-[0-9]+)?[ \t]/      { ens = $3; eal = allocs() }
+/^BenchmarkEvaluateBatch(-[0-9]+)?[ \t]/ { bev = $5; bal = allocs() }
 /^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
 END {
-	if (tp1 == "" || tp4 == "" || cns == "" || ens == "") {
+	if (tp1 == "" || tp4 == "" || cns == "" || ens == "" || bev == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"
 		exit 1
 	}
 	printf "{\n" > out
-	printf "  \"pr\": 2,\n" >> out
+	printf "  \"pr\": 3,\n" >> out
 	printf "  \"benchmark\": \"BenchmarkSearchThroughput (efficientnet-b0, LCS, 64 trials)\",\n" >> out
 	printf "  \"benchtime\": \"%s\",\n", bt >> out
 	printf "  \"cpu\": \"%s\",\n", cpu >> out
 	printf "  \"trials_per_sec\": {\"parallel_1\": %s, \"parallel_4\": %s},\n", tp1, tp4 >> out
-	printf "  \"pr1_baseline_trials_per_sec\": {\"parallel_1\": %s, \"parallel_4\": %s},\n", p1base, p4base >> out
-	printf "  \"speedup_vs_pr1\": {\"parallel_1\": %.2f, \"parallel_4\": %.2f},\n", tp1 / p1base, tp4 / p4base >> out
+	printf "  \"pr2_baseline_trials_per_sec\": {\"parallel_1\": %s, \"parallel_4\": %s},\n", p1base, p4base >> out
+	printf "  \"speedup_vs_pr2\": {\"parallel_1\": %.2f, \"parallel_4\": %.2f},\n", tp1 / p1base, tp4 / p4base >> out
 	printf "  \"compile_ns_per_op\": %s,\n", cns >> out
-	printf "  \"evaluate_ns_per_op\": %s,\n", ens >> out
-	printf "  \"compile_over_evaluate\": %.2f\n", cns / ens >> out
+	printf "  \"evaluate_warm_ns_per_op\": %s,\n", ens >> out
+	printf "  \"evaluate_batch_cold_evals_per_sec\": %s,\n", bev >> out
+	printf "  \"allocs_per_op\": {\"compile\": %s, \"evaluate_warm\": %s, \"evaluate_batch\": %s}\n", cal, eal, bal >> out
 	printf "}\n" >> out
 	printf "wrote %s\n", out
 }'
