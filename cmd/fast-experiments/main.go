@@ -21,7 +21,7 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), ", "))
-		trials   = flag.Int("trials", 120, "search-trial budget for fig9/fig10/fig12/table4")
+		trials   = flag.Int("trials", 120, "search-trial budget for fig9/fig10/fig12/frontier/table4")
 		convergo = flag.Int("convergence-trials", 150, "per-curve trials for fig11")
 		repeats  = flag.Int("repeats", 3, "repeats per heuristic for fig11 (paper: 5)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")

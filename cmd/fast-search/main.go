@@ -6,18 +6,27 @@
 // Candidate evaluations run concurrently (-parallel); Ctrl-C cancels the
 // search gracefully and reports the best design found so far.
 //
+// With -objectives the study is multi-objective: it returns the whole
+// Pareto front over the named targets (perf, perf-per-tdp as
+// maximization; tdp, area as minimization) instead of a single best
+// design, printed as a table or as JSON (-json) for plotting.
+//
 // Usage:
 //
 //	fast-search -workloads efficientnet-b7 -trials 500
 //	fast-search -workloads efficientnet-b7,resnet50,bert-1024 -objective perf
 //	fast-search -multi -algorithm bayesian -trials 1000 -seed 7 -parallel 8
+//	fast-search -objectives perf,tdp,area -trials 500
+//	fast-search -objectives perf-per-tdp,area -json > front.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,16 +37,19 @@ import (
 
 func main() {
 	var (
-		workloads = flag.String("workloads", "efficientnet-b0", "comma-separated workload names")
-		multi     = flag.Bool("multi", false, "use the paper's 5-workload multi-workload suite")
-		objective = flag.String("objective", "perf-per-tdp", "objective: perf-per-tdp or perf")
-		algorithm = flag.String("algorithm", "lcs", "optimizer: random, lcs, bayesian")
-		trials    = flag.Int("trials", 300, "trial budget (paper: 5000)")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		parallel  = flag.Int("parallel", 0, "concurrent evaluations (0 = one per CPU)")
-		progress  = flag.Int("progress", 0, "print the running best every N trials (0 = off)")
-		latency   = flag.Float64("latency-ms", 0, "optional per-batch latency bound in ms (e.g. 15 for MLPerf)")
-		save      = flag.String("save", "", "write the best design to this JSON file")
+		workloads  = flag.String("workloads", "efficientnet-b0", "comma-separated workload names")
+		multi      = flag.Bool("multi", false, "use the paper's 5-workload multi-workload suite")
+		objective  = flag.String("objective", "perf-per-tdp", "objective: perf-per-tdp or perf")
+		objectives = flag.String("objectives", "", "comma-separated objectives (perf, perf-per-tdp, tdp, area) for a multi-objective Pareto study")
+		jsonOut    = flag.Bool("json", false, "with -objectives, print the front as JSON for plotting")
+		frontCap   = flag.Int("front", 0, "with -objectives, cap the returned front size (0 = default 32)")
+		algorithm  = flag.String("algorithm", "", "optimizer: random, lcs, bayesian, nsga2 (default lcs; nsga2 with -objectives)")
+		trials     = flag.Int("trials", 300, "trial budget (paper: 5000)")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		parallel   = flag.Int("parallel", 0, "concurrent evaluations (0 = one per CPU)")
+		progress   = flag.Int("progress", 0, "print the running best every N trials (0 = off)")
+		latency    = flag.Float64("latency-ms", 0, "optional per-batch latency bound in ms (e.g. 15 for MLPerf)")
+		save       = flag.String("save", "", "write the best design to this JSON file")
 	)
 	flag.Parse()
 
@@ -45,34 +57,76 @@ func main() {
 	if *multi {
 		ws = fast.MultiWorkloadSuite()
 	}
-	obj := fast.ObjectivePerfPerTDP
-	if *objective == "perf" {
-		obj = fast.ObjectivePerf
+	obj, err := fast.ParseObjective(*objective)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fast-search:", err)
+		os.Exit(2)
+	}
+	var objs []fast.ObjectiveKind
+	if *objectives != "" {
+		for _, name := range strings.Split(*objectives, ",") {
+			o, err := fast.ParseObjective(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fast-search:", err)
+				os.Exit(2)
+			}
+			objs = append(objs, o)
+		}
 	}
 
 	st := &fast.Study{
 		Workloads:       ws,
 		Objective:       obj,
+		Objectives:      objs,
+		FrontCap:        *frontCap,
 		Algorithm:       fast.Algorithm(*algorithm),
 		Trials:          *trials,
 		Seed:            *seed,
 		LatencyBoundSec: *latency / 1e3,
 	}
-	fmt.Printf("searching %d trials (%s, %s) over %s\n", *trials, *algorithm, *objective, strings.Join(ws, ", "))
+	algName, objName := *algorithm, *objective
+	if objs != nil {
+		objName = *objectives
+		if algName == "" {
+			algName = string(fast.AlgorithmNSGA2)
+		}
+	} else if algName == "" {
+		algName = string(fast.AlgorithmLCS)
+	}
+	// With -json, stdout carries only the JSON document (the doc
+	// comment promises `-json > front.json` parses); status goes to
+	// stderr like the -progress lines.
+	status := os.Stdout
+	if *jsonOut {
+		status = os.Stderr
+	}
+	fmt.Fprintf(status, "searching %d trials (%s, %s) over %s\n", *trials, algName, objName, strings.Join(ws, ", "))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	opts := []fast.Option{fast.WithParallelism(*parallel)}
 	if *progress > 0 {
-		n, best := 0, 0.0
+		// Trial.Value is maximize-oriented: for a minimization first
+		// objective (tdp, area) it is the negated metric, so track the
+		// running max and un-negate for display.
+		n, best := 0, math.Inf(-1)
+		negate := objs != nil && !objs[0].Maximize()
 		opts = append(opts, fast.WithProgress(func(t fast.Trial) {
 			n++
 			if t.Feasible && t.Value > best {
 				best = t.Value
 			}
 			if n%*progress == 0 {
-				fmt.Fprintf(os.Stderr, "  trial %d/%d  best %.4g\n", n, *trials, best)
+				shown := best
+				if negate {
+					shown = -best
+				}
+				if math.IsInf(best, -1) {
+					fmt.Fprintf(os.Stderr, "  trial %d/%d  best -\n", n, *trials)
+				} else {
+					fmt.Fprintf(os.Stderr, "  trial %d/%d  best %.4g\n", n, *trials, shown)
+				}
 			}
 		}))
 	}
@@ -90,9 +144,16 @@ func main() {
 	}
 	elapsed := time.Since(t0).Seconds()
 	done := len(res.Search.History)
-	fmt.Printf("done in %.1fs (%.1f trials/s); %d/%d trials feasible\n\n",
+	fmt.Fprintf(status, "done in %.1fs (%.1f trials/s); %d/%d trials feasible\n\n",
 		elapsed, float64(done)/elapsed,
 		int(res.Search.FeasibleRate()*float64(done)), done)
+	if objs != nil {
+		reportFront(objs, res, canceled, *jsonOut, *save)
+		if canceled {
+			os.Exit(130)
+		}
+		return
+	}
 	if res.Best == nil {
 		if canceled {
 			fmt.Printf("interrupted after %d/%d trials, before any feasible design was found\n", done, *trials)
@@ -150,5 +211,88 @@ func main() {
 		// The report above is complete, but the search was cut short —
 		// exit 130 so scripts can tell an interrupted run from a full one.
 		os.Exit(130)
+	}
+}
+
+// objectiveUnit labels an objective's natural units for the front table.
+func objectiveUnit(o fast.ObjectiveKind) string {
+	switch o {
+	case fast.ObjectivePerf:
+		return "QPS"
+	case fast.ObjectiveTDP:
+		return "W"
+	case fast.ObjectiveArea:
+		return "mm²"
+	}
+	return "QPS/W"
+}
+
+// reportFront prints a multi-objective study's Pareto front as a table
+// or, with -json, as a machine-readable document for plotting.
+func reportFront(objs []fast.ObjectiveKind, res *fast.StudyResult, canceled, jsonOut bool, save string) {
+	front := res.Front()
+	status := os.Stdout
+	if jsonOut {
+		status = os.Stderr
+	}
+	if len(front) == 0 {
+		if canceled {
+			fmt.Fprintln(status, "interrupted before any feasible design was found")
+			os.Exit(130)
+		}
+		fmt.Fprintln(status, "no feasible design found — raise -trials")
+		os.Exit(1)
+	}
+	if canceled {
+		fmt.Fprintln(status, "interrupted — reporting the front found so far (no final re-simulation)")
+	}
+	if jsonOut {
+		type point struct {
+			Values map[string]float64 `json:"values"`
+			Design *fast.Design       `json:"design"`
+		}
+		doc := struct {
+			Objectives []string `json:"objectives"`
+			Front      []point  `json:"front"`
+		}{}
+		for _, o := range objs {
+			doc.Objectives = append(doc.Objectives, o.String())
+		}
+		for _, p := range front {
+			vals := map[string]float64{}
+			for k, o := range objs {
+				vals[o.String()] = p.Values[k]
+			}
+			doc.Front = append(doc.Front, point{Values: vals, Design: p.Design})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "fast-search:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("pareto front (%d points):\n", len(front))
+		fmt.Printf("%4s", "#")
+		for _, o := range objs {
+			fmt.Printf(" %16s", fmt.Sprintf("%s (%s)", o, objectiveUnit(o)))
+		}
+		fmt.Println("  design")
+		for i, p := range front {
+			fmt.Printf("%4d", i)
+			for _, v := range p.Values {
+				fmt.Printf(" %16.5g", v)
+			}
+			d := p.Design
+			fmt.Printf("  %dx%d PEs × SA %dx%d, GM %d MiB, batch %d\n",
+				d.PEsX, d.PEsY, d.SAx, d.SAy, d.GlobalMiB, d.NativeBatch)
+		}
+	}
+	if save != "" {
+		if err := res.Best.SaveFile(save); err != nil {
+			fmt.Fprintln(os.Stderr, "fast-search:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "saved the best %s design to %s\n", objs[0], save)
 	}
 }

@@ -60,6 +60,38 @@ func ExampleStudy() {
 	// within budget: true
 }
 
+// ExampleStudy_paretoFront runs a small multi-objective study and walks
+// its Perf/TDP × area Pareto front.
+func ExampleStudy_paretoFront() {
+	res, err := (&fast.Study{
+		Workloads:  []string{"mobilenetv2"},
+		Objectives: []fast.ObjectiveKind{fast.ObjectivePerfPerTDP, fast.ObjectiveArea},
+		Trials:     48,
+		Seed:       9,
+		FrontCap:   4,
+	}).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := res.Front()
+	budget := fast.DefaultBudget()
+	pm := fast.DefaultPowerModel()
+	allWithin := len(front) > 0
+	sorted := true
+	for i, p := range front {
+		// p.Values[0] is Perf/TDP (QPS/W), p.Values[1] is area in mm².
+		allWithin = allWithin && budget.Within(pm, p.Design)
+		sorted = sorted && (i == 0 || p.Values[0] <= front[i-1].Values[0])
+	}
+	fmt.Println("found a front:", len(front) > 0)
+	fmt.Println("every point within budget:", allWithin)
+	fmt.Println("sorted by Perf/TDP:", sorted)
+	// Output:
+	// found a front: true
+	// every point within budget: true
+	// sorted by Perf/TDP: true
+}
+
 // ExampleROIParams reproduces the paper's §5.1 break-even analysis for
 // the FAST-Large speedup.
 func ExampleROIParams() {

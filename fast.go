@@ -34,6 +34,29 @@
 // loops — distributed workers, simulators other than Simulate, or
 // early-stopping policies.
 //
+// # Multi-objective searches
+//
+// Setting Study.Objectives instead of Objective returns the whole
+// Pareto front over several targets — the paper's trade-off curves
+// (Perf/TDP under area and power budgets, Figure 12) from a single
+// study:
+//
+//	res, err := (&fast.Study{
+//	    Workloads:  []string{"efficientnet-b7"},
+//	    Objectives: []fast.ObjectiveKind{fast.ObjectivePerfPerTDP, fast.ObjectiveArea},
+//	    Trials:     500,
+//	    Seed:       1,
+//	}).Run(ctx, fast.WithBudget(fast.DefaultBudget()))
+//	for _, p := range res.Front() {
+//	    fmt.Println(p.Values, p.Design)
+//	}
+//
+// The default optimizer is NSGA-II (AlgorithmNSGA2); TDP and area are
+// minimized, the performance metrics maximized, and every objective of
+// a trial is scored from the same simulation, so extra objectives cost
+// no additional plan evaluations. Scalar studies are the 1-objective
+// special case and keep their exact trajectories.
+//
 // See examples/ for runnable walkthroughs and cmd/fast-experiments for
 // the paper's tables and figures.
 package fast
@@ -81,19 +104,38 @@ type Budget = power.Budget
 // ROIParams is the return-on-investment model of §5.1.
 type ROIParams = roi.Params
 
+// ObjectiveKind is a Study optimization target.
+type ObjectiveKind = core.ObjectiveKind
+
 // Objective kinds for Study.
 const (
 	// ObjectivePerfPerTDP maximizes QPS per watt.
 	ObjectivePerfPerTDP = core.PerfPerTDP
 	// ObjectivePerf maximizes raw QPS within the budget.
 	ObjectivePerf = core.Perf
+	// ObjectiveTDP minimizes thermal design power (Study.Objectives
+	// only).
+	ObjectiveTDP = core.TDP
+	// ObjectiveArea minimizes die area (Study.Objectives only).
+	ObjectiveArea = core.Area
 )
 
-// Search algorithms for Study (Figure 11 families).
+// ParseObjective resolves an objective name ("perf-per-tdp", "perf",
+// "tdp", "area") to its kind.
+func ParseObjective(name string) (ObjectiveKind, error) { return core.ParseObjective(name) }
+
+// FrontPoint is one design on a multi-objective study's Pareto front
+// (StudyResult.Front): its raw objective values in Study.Objectives
+// order and its per-workload final simulations.
+type FrontPoint = core.FrontPoint
+
+// Search algorithms for Study (Figure 11 families, plus the
+// multi-objective NSGA-II).
 const (
 	AlgorithmRandom   = search.AlgRandom
 	AlgorithmLCS      = search.AlgLCS
 	AlgorithmBayesian = search.AlgBayes
+	AlgorithmNSGA2    = search.AlgNSGA2
 )
 
 // Algorithm names an optimizer family.
@@ -134,6 +176,11 @@ func WithBatchSize(n int) Option { return core.WithBatchSize(n) }
 // WithProgress registers a per-trial callback, invoked in deterministic
 // order from the driving goroutine.
 func WithProgress(f func(Trial)) Option { return core.WithProgress(f) }
+
+// WithBudget overrides the study's area/TDP constraint envelope for one
+// Run. Out-of-budget candidates are infeasible: scalar studies reject
+// them, multi-objective studies keep them off the Pareto front.
+func WithBudget(b Budget) Option { return core.WithBudget(b) }
 
 // BuildModel constructs a workload graph by canonical name (e.g.
 // "efficientnet-b7", "bert-1024", "resnet50", "ocr-rpn",

@@ -52,12 +52,12 @@ func TestRunnerBatchObjectiveTranscript(t *testing.T) {
 				t.Fatalf("%s par %d: history lengths %d vs %d", alg, par, len(serial.History), len(batched.History))
 			}
 			for i := range serial.History {
-				if serial.History[i] != batched.History[i] {
+				if !serial.History[i].Equal(batched.History[i]) {
 					t.Fatalf("%s par %d: trial %d differs between per-point and batched paths: %+v vs %+v",
 						alg, par, i, serial.History[i], batched.History[i])
 				}
 			}
-			if serial.Best != batched.Best {
+			if !serial.Best.Equal(batched.Best) {
 				t.Errorf("%s par %d: best differs between per-point and batched paths", alg, par)
 			}
 		}
@@ -114,7 +114,7 @@ func TestStudyObjectivesAgree(t *testing.T) {
 		feasible := 0
 		for i, idx := range idxs {
 			want := objective(idx)
-			if want != batched[i] {
+			if !want.Equal(batched[i]) {
 				t.Errorf("%v: point %d: per-point %+v vs batched %+v", workloads, i, want, batched[i])
 			}
 			if want.Feasible {

@@ -19,7 +19,11 @@ import (
 	"fast/internal/sim"
 )
 
-// ObjectiveKind selects the optimization target f(h,w) (Eq. 3).
+// ObjectiveKind selects an optimization target f(h,w) (Eq. 3). Scalar
+// studies (Study.Objective) accept the two maximization targets the
+// paper searches with; multi-objective studies (Study.Objectives) also
+// accept the budget metrics TDP and Area as minimization targets, which
+// turns the budget-constrained search into a trade-off frontier.
 type ObjectiveKind int
 
 const (
@@ -28,14 +32,44 @@ const (
 	// Perf maximizes raw QPS subject to the budget (the Figure 9 "pure
 	// performance" objective).
 	Perf
+	// TDP minimizes the power-virus thermal design power (watts).
+	// Multi-objective studies only.
+	TDP
+	// Area minimizes the die area (mm²). Multi-objective studies only.
+	Area
 )
 
 // String implements fmt.Stringer.
 func (o ObjectiveKind) String() string {
-	if o == Perf {
+	switch o {
+	case Perf:
 		return "perf"
+	case TDP:
+		return "tdp"
+	case Area:
+		return "area"
 	}
 	return "perf-per-tdp"
+}
+
+// Maximize reports the objective's direction: true for the performance
+// metrics, false for the cost metrics (TDP, area).
+func (o ObjectiveKind) Maximize() bool { return o == Perf || o == PerfPerTDP }
+
+// ParseObjective resolves an objective name as accepted by the CLIs:
+// "perf-per-tdp" (or "perf/tdp"), "perf", "tdp", "area".
+func ParseObjective(name string) (ObjectiveKind, error) {
+	switch name {
+	case "perf-per-tdp", "perf/tdp":
+		return PerfPerTDP, nil
+	case "perf":
+		return Perf, nil
+	case "tdp":
+		return TDP, nil
+	case "area":
+		return Area, nil
+	}
+	return 0, fmt.Errorf("core: unknown objective %q (want perf-per-tdp, perf, tdp, or area)", name)
 }
 
 // Study describes one FAST search experiment.
@@ -43,8 +77,22 @@ type Study struct {
 	// Workloads are canonical model names (see models.Build). Multiple
 	// names optimize the geometric mean across them (§6.2.1).
 	Workloads []string
-	// Objective is the optimization target.
+	// Objective is the optimization target of a scalar study. Ignored
+	// when Objectives is set.
 	Objective ObjectiveKind
+	// Objectives, when non-empty, makes the study multi-objective: the
+	// search returns the Pareto front over these targets instead of a
+	// single best design (StudyResult.Front). Per-workload metrics are
+	// geomean-folded exactly like a scalar study; all objectives of a
+	// trial are derived from one simulation per (design, workload), so
+	// extra objectives are essentially free. A 1-element Objectives is
+	// the degenerate case and follows the identical trajectory as the
+	// equivalent scalar study.
+	Objectives []ObjectiveKind
+	// FrontCap bounds the returned Pareto front; overflow is pruned by
+	// crowding distance (most-crowded point evicted first). 0 uses
+	// DefaultFrontCap; negative is unbounded.
+	FrontCap int
 	// Algorithm selects the optimizer (random / lcs / bayesian).
 	Algorithm search.Algorithm
 	// Trials bounds the evaluation count (the paper runs 5000; these
@@ -79,14 +127,22 @@ type WorkloadResult struct {
 // StudyResult is a completed search.
 type StudyResult struct {
 	// Best is the winning design (nil if no feasible design was found).
+	// For a multi-objective study this is the front point that is best
+	// on the first objective.
 	Best *arch.Config
-	// BestValue is the winning objective value.
+	// BestValue is the winning objective value (the raw first-objective
+	// value for a multi-objective study, natural units).
 	BestValue float64
 	// Search holds the full trial history (convergence curves, Fig. 11).
 	Search search.Result
 	// PerWorkload re-simulates the winning design on each workload with
-	// the full (ILP-backed) fusion solve.
+	// the full (ILP-backed) fusion solve. Scalar studies only; a
+	// multi-objective study carries per-point results on Front()
+	// instead.
 	PerWorkload []WorkloadResult
+
+	// front is the Pareto front of a multi-objective study (Front()).
+	front []FrontPoint
 }
 
 // DefaultPlatform returns the fixed attributes FAST candidates inherit: a
@@ -202,6 +258,7 @@ type runConfig struct {
 	parallelism int
 	batchSize   int
 	progress    func(search.Trial)
+	budget      *power.Budget
 }
 
 // WithParallelism bounds concurrent design evaluations. n <= 0 (the
@@ -225,6 +282,17 @@ func WithBatchSize(n int) Option {
 // to cancel the context.
 func WithProgress(f func(search.Trial)) Option {
 	return func(c *runConfig) { c.progress = f }
+}
+
+// WithBudget overrides the study's constraint envelope (Eq. 4) for one
+// Run. Candidates beyond the budget are infeasible: scalar studies
+// reject them, multi-objective studies rank them behind every feasible
+// point ("dominated last") and keep them off the front. Sweeping the
+// budget across Runs of one Study is how the paper's different
+// deployment classes (embedded vs datacenter envelopes) reuse a single
+// experiment definition.
+func WithBudget(b power.Budget) Option {
+	return func(c *runConfig) { c.budget = &b }
 }
 
 // Run executes the study until the trial budget is exhausted or ctx is
@@ -260,11 +328,21 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	if budget.MaxTDPW == 0 {
 		budget = power.DefaultBudget(pm)
 	}
+	if rc.budget != nil {
+		budget = *rc.budget
+	}
 	simOpts := sim.FASTOptions()
 	if s.SimOptions != nil {
 		simOpts = *s.SimOptions
 	}
 	simOpts.PowerModel = pm
+
+	if len(s.Objectives) > 0 {
+		return s.runMulti(ctx, rc, base, pm, budget, simOpts)
+	}
+	if !s.Objective.Maximize() {
+		return nil, fmt.Errorf("core: scalar studies maximize perf or perf-per-tdp; use Objectives for %s", s.Objective)
+	}
 
 	// The options fingerprint is constant across the study; render it
 	// once so the per-trial hot path only does a map lookup.
@@ -366,13 +444,47 @@ func (s *Study) makeObjectives(base *arch.Config, pm *power.Model, budget power.
 		return math.Log(v), true
 	}
 
-	objective := func(idx [arch.NumParams]int) search.Evaluation {
+	prepS := func(idx [arch.NumParams]int) (*arch.Config, float64, bool) {
 		cfg, ok := prep(idx)
+		return cfg, 0, ok
+	}
+	fold := func(r *sim.Result, logSum *float64) bool {
+		v, ok := score(r)
+		if !ok {
+			return false // Eq. 5
+		}
+		*logSum += v
+		return true
+	}
+	finish := func(logSum float64) search.Evaluation {
+		return search.Evaluation{
+			Value:    math.Exp(logSum / float64(len(s.Workloads))),
+			Feasible: true,
+		}
+	}
+	return objectiveOver(s.Workloads, simFP, simOpts, prepS, fold, finish),
+		batchObjectiveOver(s.Workloads, simFP, simOpts, prepS, fold, finish)
+}
+
+// objectiveOver builds a per-point search.Objective from the three
+// study-specific hooks: prep decodes and applies the
+// workload-independent constraints (returning the fold's initial
+// state), fold scores one workload result into the state (false =
+// infeasible, Eq. 5), finish turns the folded state into the trial's
+// Evaluation. The scalar and multi-objective studies differ only in
+// these hooks; the decode → per-workload simulate pipeline is shared
+// here, and its batched twin in batchObjectiveOver.
+func objectiveOver[S any](workloads []string, simFP string, simOpts sim.Options,
+	prep func(idx [arch.NumParams]int) (*arch.Config, S, bool),
+	fold func(*sim.Result, *S) bool,
+	finish func(S) search.Evaluation) search.Objective {
+
+	return func(idx [arch.NumParams]int) search.Evaluation {
+		cfg, st, ok := prep(idx)
 		if !ok {
 			return search.Evaluation{}
 		}
-		logSum := 0.0
-		for _, w := range s.Workloads {
+		for _, w := range workloads {
 			plan, err := plans.get(w, cfg.NativeBatch, simFP, simOpts)
 			if err != nil {
 				return search.Evaluation{}
@@ -381,37 +493,44 @@ func (s *Study) makeObjectives(base *arch.Config, pm *power.Model, budget power.
 			if err != nil {
 				return search.Evaluation{}
 			}
-			v, ok := score(r)
-			if !ok {
-				return search.Evaluation{} // Eq. 5
+			if !fold(r, &st) {
+				return search.Evaluation{}
 			}
-			logSum += v
 		}
-		return search.Evaluation{
-			Value:    math.Exp(logSum / float64(len(s.Workloads))),
-			Feasible: true,
-		}
+		return finish(st)
 	}
+}
 
-	batchObjective := func(idxs [][arch.NumParams]int) []search.Evaluation {
+// batchObjectiveOver is objectiveOver's batched twin, built from the
+// same hooks so both paths cannot diverge: designs surviving prep are
+// grouped by NativeBatch (a searched hyperparameter that selects the
+// compiled plan) and routed through Plan.EvaluateBatch one workload at
+// a time, dropping a design from later workloads as soon as an earlier
+// one proves it infeasible — mirroring the per-point short-circuit.
+// Transcript equality with the per-point path is asserted by the
+// per-algorithm batch differential tests.
+func batchObjectiveOver[S any](workloads []string, simFP string, simOpts sim.Options,
+	prep func(idx [arch.NumParams]int) (*arch.Config, S, bool),
+	fold func(*sim.Result, *S) bool,
+	finish func(S) search.Evaluation) search.BatchObjective {
+
+	return func(idxs [][arch.NumParams]int) []search.Evaluation {
 		evals := make([]search.Evaluation, len(idxs))
 		type live struct {
-			pos    int
-			cfg    *arch.Config
-			logSum float64
+			pos int
+			cfg *arch.Config
+			st  S
 		}
 		alive := make([]live, 0, len(idxs))
 		for i, idx := range idxs {
-			if cfg, ok := prep(idx); ok {
-				alive = append(alive, live{pos: i, cfg: cfg})
+			if cfg, st, ok := prep(idx); ok {
+				alive = append(alive, live{pos: i, cfg: cfg, st: st})
 			}
 		}
-		for _, w := range s.Workloads {
+		for _, w := range workloads {
 			if len(alive) == 0 {
 				break
 			}
-			// NativeBatch is a searched hyperparameter and selects the
-			// compiled plan, so the batch splits into per-plan groups.
 			groups := make(map[int64][]int)
 			for ai := range alive {
 				nb := alive[ai].cfg.NativeBatch
@@ -438,9 +557,7 @@ func (s *Study) makeObjectives(base *arch.Config, pm *power.Model, budget power.
 					continue
 				}
 				for k, ai := range ais {
-					if v, ok := score(results[k]); ok {
-						alive[ai].logSum += v
-					} else {
+					if !fold(results[k], &alive[ai].st) {
 						dead[ai] = true
 					}
 				}
@@ -454,15 +571,10 @@ func (s *Study) makeObjectives(base *arch.Config, pm *power.Model, budget power.
 			alive = next
 		}
 		for _, l := range alive {
-			evals[l.pos] = search.Evaluation{
-				Value:    math.Exp(l.logSum / float64(len(s.Workloads))),
-				Feasible: true,
-			}
+			evals[l.pos] = finish(l.st)
 		}
 		return evals
 	}
-
-	return objective, batchObjective
 }
 
 func shortName(ws []string) string {

@@ -1,0 +1,242 @@
+package core
+
+// Multi-objective (Pareto-front) studies.
+//
+// The paper's headline results are trade-off curves, not single points:
+// designs are compared by Perf/TDP under area and power budgets, and
+// whole frontiers feed the ROI/TCO analysis (§5.1, Figure 12). A study
+// with Objectives set searches all of its targets at once — the
+// NSGA-II optimizer keeps a diverse non-dominated population, and the
+// Pareto front of the full trial history is returned with per-point
+// workload results. All objectives of a trial derive from the same
+// simulation per (design, workload), so a 3-objective study costs the
+// same plan evaluations as a 1-objective one.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"fast/internal/arch"
+	"fast/internal/power"
+	"fast/internal/search"
+	"fast/internal/sim"
+)
+
+// DefaultFrontCap is the default bound on a study's returned Pareto
+// front (crowding-distance pruning keeps the most spread-out points).
+const DefaultFrontCap = 32
+
+// FrontPoint is one design on a multi-objective study's Pareto front.
+type FrontPoint struct {
+	// Index is the design's hyperparameter vector.
+	Index [arch.NumParams]int
+	// Design is the decoded configuration.
+	Design *arch.Config
+	// Values are the raw objective values in Study.Objectives order and
+	// natural units (QPS, QPS/W, watts, mm²; geomean across workloads
+	// for the per-workload metrics), as scored by the search's software
+	// stack — these are the values dominance was decided on.
+	Values []float64
+	// PerWorkload re-simulates the design on each workload with the
+	// full (ILP-backed) fusion solve. Empty when the run was canceled.
+	PerWorkload []WorkloadResult
+}
+
+// Front returns the study's Pareto front, sorted by descending first
+// objective (raw-value order for minimization targets follows suit:
+// best first). Empty for scalar studies and when no feasible design
+// was found.
+func (r *StudyResult) Front() []FrontPoint { return r.front }
+
+// rawValue converts a maximize-oriented search value back to the
+// objective's natural units.
+func rawValue(o ObjectiveKind, v float64) float64 {
+	if o.Maximize() {
+		return v
+	}
+	return -v
+}
+
+// runMulti executes the multi-objective arm of Study.Run. rc, base, pm,
+// budget and simOpts carry Run's resolved defaults.
+func (s *Study) runMulti(ctx context.Context, rc runConfig, base *arch.Config, pm *power.Model,
+	budget power.Budget, simOpts sim.Options) (*StudyResult, error) {
+
+	seen := map[ObjectiveKind]bool{}
+	for _, o := range s.Objectives {
+		if o < PerfPerTDP || o > Area {
+			return nil, fmt.Errorf("core: unknown objective kind %d", o)
+		}
+		if seen[o] {
+			// A repeated objective would double-weight itself in
+			// dominance and collapse in keyed outputs.
+			return nil, fmt.Errorf("core: duplicate objective %s", o)
+		}
+		seen[o] = true
+	}
+
+	objective, batchObjective := s.makeMultiObjectives(base, pm, budget, simOpts, simOpts.Fingerprint())
+
+	alg := s.Algorithm
+	if alg == "" {
+		alg = search.AlgNSGA2
+	}
+	runner := &Runner{
+		Optimizer:      search.New(alg, s.Seed, s.Trials),
+		Objective:      objective,
+		BatchObjective: batchObjective,
+		Trials:         s.Trials,
+		Parallelism:    rc.parallelism,
+		BatchSize:      rc.batchSize,
+		OnTrial:        rc.progress,
+	}
+	sr, runErr := runner.Run(ctx)
+
+	// The front is the non-dominated subset of the full history — not
+	// of the optimizer's final population — folded in deterministic
+	// tell order, so it is identical at any parallelism and no early
+	// discovery is lost to population churn.
+	frontCap := s.FrontCap
+	if frontCap == 0 {
+		frontCap = DefaultFrontCap
+	}
+	archive := search.NewParetoArchive(frontCap)
+	for _, tr := range sr.History {
+		archive.Add(tr)
+	}
+
+	out := &StudyResult{Search: sr}
+	space := arch.Space{}
+	front := archive.Front()
+	sort.SliceStable(front, func(a, b int) bool { return front[a].Values[0] > front[b].Values[0] })
+	for i, tr := range front {
+		raw := make([]float64, len(tr.Values))
+		for k, v := range tr.Values {
+			raw[k] = rawValue(s.Objectives[k], v)
+		}
+		cfg := space.Decode(tr.Index, base)
+		cfg.Name = fmt.Sprintf("fast-front%02d-%s", i, shortName(s.Workloads))
+		out.front = append(out.front, FrontPoint{Index: tr.Index, Design: cfg, Values: raw})
+	}
+	if sr.Best.Feasible {
+		out.BestValue = rawValue(s.Objectives[0], sr.Best.Value)
+		out.Best = space.Decode(sr.Best.Index, base)
+		out.Best.Name = fmt.Sprintf("fast-%s-%s", s.Objectives[0], shortName(s.Workloads))
+	}
+	if runErr != nil {
+		// Canceled: hand back the front of the partial history without
+		// the final re-simulations.
+		return out, runErr
+	}
+
+	// Final evaluation of every front point with the full ILP fusion
+	// solve, through the process-wide plan cache (one compile per
+	// (workload, batch); fusion placements memoized across points that
+	// share the relevant parameter sub-tuple).
+	finalOpts := simOpts
+	finalOpts.Fusion.GreedyOnly = false
+	finalFP := finalOpts.Fingerprint()
+	for i := range out.front {
+		for _, w := range s.Workloads {
+			plan, err := plans.get(w, out.front[i].Design.NativeBatch, finalFP, finalOpts)
+			if err != nil {
+				return nil, err
+			}
+			r, err := plan.Evaluate(out.front[i].Design)
+			if err != nil {
+				return nil, err
+			}
+			out.front[i].PerWorkload = append(out.front[i].PerWorkload, WorkloadResult{Name: w, Result: r})
+		}
+	}
+	return out, nil
+}
+
+// makeMultiObjectives builds the vector-objective evaluation closures.
+// They follow the scalar makeObjectives pipeline exactly — decode →
+// budget → per-workload simulate → geomean — but score every objective
+// of s.Objectives from the one simulation each (design, workload) pair
+// already needs: the performance metrics fold per-workload results into
+// per-objective log-sums, while TDP and area read the power breakdown
+// computed during the budget check. Values are maximize-oriented
+// (minimization targets negated) per the search.Evaluation convention,
+// and Value mirrors Values[0] so scalar drivers (Result.Best, the
+// convergence curve) track the first objective. With a single
+// performance objective the arithmetic is operation-for-operation the
+// scalar closure's, which keeps 1-element studies on bit-identical
+// trajectories.
+func (s *Study) makeMultiObjectives(base *arch.Config, pm *power.Model, budget power.Budget,
+	simOpts sim.Options, simFP string) (search.Objective, search.BatchObjective) {
+
+	objs := s.Objectives
+	space := arch.Space{}
+
+	// multiState is the per-design fold state: the power breakdown from
+	// the budget check (feeding the cost objectives for free) plus one
+	// running log-sum per performance objective.
+	type multiState struct {
+		bd     power.Breakdown
+		logSum []float64
+	}
+
+	// prep decodes and applies the workload-independent constraints,
+	// keeping the power breakdown for the cost objectives.
+	prep := func(idx [arch.NumParams]int) (*arch.Config, multiState, bool) {
+		cfg := space.Decode(idx, base)
+		if err := cfg.Validate(); err != nil {
+			return nil, multiState{}, false
+		}
+		eval := pm.Evaluate(cfg)
+		if eval.TotalPower() > budget.MaxTDPW || eval.TotalArea() > budget.MaxAreaMM2 {
+			return nil, multiState{}, false
+		}
+		return cfg, multiState{bd: eval, logSum: make([]float64, len(objs))}, true
+	}
+	// fold scores one workload result into the per-objective running
+	// log-sums; false means the design failed Eq. 5 or the latency
+	// bound on this workload.
+	fold := func(r *sim.Result, st *multiState) bool {
+		if r.ScheduleFailed || r.QPS <= 0 {
+			return false
+		}
+		if s.LatencyBoundSec > 0 && r.LatencySec > s.LatencyBoundSec {
+			return false
+		}
+		for k, o := range objs {
+			var v float64
+			switch o {
+			case Perf:
+				v = r.QPS
+			case PerfPerTDP:
+				v = r.PerfPerTDP
+			default:
+				continue // design-level objective, no per-workload term
+			}
+			if v <= 0 {
+				return false
+			}
+			st.logSum[k] += math.Log(v)
+		}
+		return true
+	}
+	// finish assembles the maximize-oriented objective vector.
+	finish := func(st multiState) search.Evaluation {
+		vals := make([]float64, len(objs))
+		for k, o := range objs {
+			switch o {
+			case TDP:
+				vals[k] = -st.bd.TotalPower()
+			case Area:
+				vals[k] = -st.bd.TotalArea()
+			default:
+				vals[k] = math.Exp(st.logSum[k] / float64(len(s.Workloads)))
+			}
+		}
+		return search.Evaluation{Value: vals[0], Values: vals, Feasible: true}
+	}
+
+	return objectiveOver(s.Workloads, simFP, simOpts, prep, fold, finish),
+		batchObjectiveOver(s.Workloads, simFP, simOpts, prep, fold, finish)
+}

@@ -48,12 +48,12 @@ func TestRunnerParallelismInvariance(t *testing.T) {
 			t.Fatalf("%s: history lengths %d / %d", alg, len(serial.History), len(parallel.History))
 		}
 		for i := range serial.History {
-			if serial.History[i] != parallel.History[i] {
+			if !serial.History[i].Equal(parallel.History[i]) {
 				t.Fatalf("%s: trial %d differs between parallelism 1 and 4: %+v vs %+v",
 					alg, i, serial.History[i], parallel.History[i])
 			}
 		}
-		if serial.Best != parallel.Best {
+		if !serial.Best.Equal(parallel.Best) {
 			t.Errorf("%s: best differs between parallelism 1 and 4", alg)
 		}
 	}
@@ -97,7 +97,7 @@ func TestRunnerMemoizes(t *testing.T) {
 		t.Errorf("history = %d, want 48 (memoized trials still count)", len(res.History))
 	}
 	for i := 1; i < len(res.History); i++ {
-		if res.History[i] != res.History[0] {
+		if !res.History[i].Equal(res.History[0]) {
 			t.Fatalf("memoized trial %d differs from the original evaluation", i)
 		}
 	}
@@ -221,7 +221,7 @@ func TestStudyProgressOrder(t *testing.T) {
 		t.Fatalf("progress saw %d trials, history has %d", len(seen), len(res.Search.History))
 	}
 	for i := range seen {
-		if seen[i] != res.Search.History[i] {
+		if !seen[i].Equal(res.Search.History[i]) {
 			t.Fatalf("progress order diverges from history at trial %d", i)
 		}
 	}

@@ -201,7 +201,7 @@ func TestSearchExperimentsSmoke(t *testing.T) {
 		t.Skip("search experiments under -short")
 	}
 	reg := Registry(tinyOpts)
-	for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "table4"} {
+	for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "frontier", "table4"} {
 		tab := reg[id]()
 		if len(tab.Rows) == 0 {
 			t.Errorf("%s: no rows", id)

@@ -274,6 +274,62 @@ func Fig12Pareto(o Options) Table {
 	return t
 }
 
+// FrontierTradeoff reproduces the paper's frontier reading of the
+// Figure 12 / Table 5 data with one multi-objective study: the Pareto
+// front of Perf/TDP against die area on EfficientNet-B7 (the FAST-Large
+// / FAST-Small reference workload), normalized to the die-shrunk TPU-v3
+// baseline, with the two published reference designs placed on the same
+// axes. Unlike Fig12Pareto — which filters a scalar study's history
+// after the fact — the frontier here is searched directly: NSGA-II
+// keeps a non-dominated population, so the table is the study's
+// Front(), not a post-hoc scan.
+func FrontierTradeoff(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:     "frontier",
+		Title:  "Perf/TDP vs area Pareto frontier on EfficientNet-B7 (TPU-v3 = 1.0)",
+		Header: []string{"Design", "Perf/TDP (rel)", "Area (rel)"},
+		Notes: "Paper shape: the searched frontier dominates the baseline point and " +
+			"brackets the published designs — FAST-Large near the big, fast end, " +
+			"FAST-Small near the small end at higher efficiency per area.",
+	}
+	tpu := arch.DieShrunkTPUv3()
+	base, err := sim.Simulate(models.MustBuild("efficientnet-b7", tpu.NativeBatch), tpu, sim.BaselineOptions())
+	if err != nil {
+		panic(err)
+	}
+	res, err := (&core.Study{
+		Workloads:  []string{"efficientnet-b7"},
+		Objectives: []core.ObjectiveKind{core.PerfPerTDP, core.Area},
+		Trials:     o.SearchTrials,
+		Seed:       o.Seed + 12,
+		FrontCap:   8,
+	}).Run(context.Background(), core.WithParallelism(o.Parallelism))
+	if err != nil {
+		panic(err)
+	}
+	for i, p := range res.Front() {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("front-%02d", i),
+			f2(p.Values[0] / base.PerfPerTDP),
+			f2(p.Values[1] / base.AreaMM2),
+		})
+	}
+	for _, ref := range []*arch.Config{arch.FASTLarge(), arch.FASTSmall()} {
+		r, err := sim.Simulate(models.MustBuild("efficientnet-b7", ref.NativeBatch), ref, sim.FASTOptions())
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			ref.Name,
+			f2(r.PerfPerTDP / base.PerfPerTDP),
+			f2(r.AreaMM2 / base.AreaMM2),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"tpu-v3-dieshrink (baseline)", "1.00", "1.00"})
+	return t
+}
+
 // Fig6ROICurves reproduces Figure 6: ROI vs deployment volume for
 // hypothetical Perf/TCO improvements.
 func Fig6ROICurves() Table {

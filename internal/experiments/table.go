@@ -6,7 +6,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -107,41 +106,33 @@ func (o Options) withDefaults() Options {
 func Registry(o Options) map[string]func() Table {
 	o = o.withDefaults()
 	return map[string]func() Table{
-		"table1": Table1WorkingSets,
-		"table2": Table2OpBreakdown,
-		"table4": func() Table { return Table4ROIVolumes(o) },
-		"table5": Table5Designs,
-		"table6": Table6Ablation,
-		"fig2":   Fig2StepTimeVsAccuracy,
-		"fig3":   Fig3OpIntensity,
-		"fig4":   Fig4PerLayerUtil,
-		"fig5":   Fig5BERTBreakdown,
-		"fig6":   Fig6ROICurves,
-		"fig9":   func() Table { return Fig9Speedup(o) },
-		"fig10":  func() Table { return Fig10PerfPerTDP(o) },
-		"fig11":  func() Table { return Fig11Convergence(o) },
-		"fig12":  func() Table { return Fig12Pareto(o) },
-		"fig13":  Fig13FusionSweep,
-		"fig14":  Fig14PerLayerFAST,
-		"fig15":  Fig15Breakdown,
+		"table1":   Table1WorkingSets,
+		"table2":   Table2OpBreakdown,
+		"table4":   func() Table { return Table4ROIVolumes(o) },
+		"table5":   Table5Designs,
+		"table6":   Table6Ablation,
+		"fig2":     Fig2StepTimeVsAccuracy,
+		"fig3":     Fig3OpIntensity,
+		"fig4":     Fig4PerLayerUtil,
+		"fig5":     Fig5BERTBreakdown,
+		"fig6":     Fig6ROICurves,
+		"fig9":     func() Table { return Fig9Speedup(o) },
+		"fig10":    func() Table { return Fig10PerfPerTDP(o) },
+		"fig11":    func() Table { return Fig11Convergence(o) },
+		"fig12":    func() Table { return Fig12Pareto(o) },
+		"frontier": func() Table { return FrontierTradeoff(o) },
+		"fig13":    Fig13FusionSweep,
+		"fig14":    Fig14PerLayerFAST,
+		"fig15":    Fig15Breakdown,
 	}
 }
 
 // IDs lists the experiment identifiers in presentation order.
 func IDs() []string {
 	ids := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig9", "fig10", "fig11", "fig12", "frontier", "fig13", "fig14", "fig15",
 		"table4", "table5", "table6"}
 	return ids
-}
-
-func sortedKeys[T any](m map[string]T) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -10,7 +10,7 @@ import (
 // nothing but a size-one ask/tell loop over New, so driving the
 // optimizer by hand must reproduce Run's history bit for bit.
 func TestSerialAdapterMatchesDrive(t *testing.T) {
-	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes} {
+	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes, AlgNSGA2} {
 		a := Run(alg, quadratic, 150, 21)
 
 		opt := New(alg, 21, 150)
@@ -26,11 +26,11 @@ func TestSerialAdapterMatchesDrive(t *testing.T) {
 			t.Fatalf("%s: history lengths differ: %d vs %d", alg, len(a.History), len(b.History))
 		}
 		for i := range a.History {
-			if a.History[i] != b.History[i] {
+			if !a.History[i].Equal(b.History[i]) {
 				t.Fatalf("%s: trial %d differs: %+v vs %+v", alg, i, a.History[i], b.History[i])
 			}
 		}
-		if a.Best != b.Best {
+		if !a.Best.Equal(b.Best) {
 			t.Errorf("%s: best differs: %+v vs %+v", alg, a.Best, b.Best)
 		}
 	}
@@ -40,7 +40,7 @@ func TestSerialAdapterMatchesDrive(t *testing.T) {
 // counts, in-domain proposals, and progress under batched tells.
 func TestBatchAskContract(t *testing.T) {
 	dims := arch.Space{}.Dims()
-	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes} {
+	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes, AlgNSGA2} {
 		opt := New(alg, 3, 128)
 		seen := 0
 		for round := 0; round < 8; round++ {
@@ -69,7 +69,7 @@ func TestBatchAskContract(t *testing.T) {
 // TestBatchedDeterminism: two optimizers with the same seed fed the same
 // transcript propose identical batches.
 func TestBatchedDeterminism(t *testing.T) {
-	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes} {
+	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes, AlgNSGA2} {
 		a := New(alg, 9, 96)
 		b := New(alg, 9, 96)
 		for round := 0; round < 6; round++ {
@@ -92,7 +92,7 @@ func TestBatchedDeterminism(t *testing.T) {
 
 // TestAskZero: an empty ask is legal and returns no proposals.
 func TestAskZero(t *testing.T) {
-	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes} {
+	for _, alg := range []Algorithm{AlgRandom, AlgLCS, AlgBayes, AlgNSGA2} {
 		if got := New(alg, 1, 10).Ask(0); len(got) != 0 {
 			t.Errorf("%s: Ask(0) returned %d proposals", alg, len(got))
 		}

@@ -24,8 +24,43 @@ type Evaluation struct {
 	// Value is the objective (higher is better); meaningful only when
 	// Feasible.
 	Value float64
+	// Values is the objective vector of a multi-objective trial, every
+	// component oriented so that higher is better (callers negate
+	// minimization metrics such as TDP or area before storing them).
+	// Nil for scalar studies; meaningful only when Feasible. Drivers
+	// treat a nil Values on a feasible trial as the 1-vector {Value},
+	// which makes every scalar objective a degenerate multi-objective
+	// one.
+	Values []float64
 	// Feasible reports whether the design met every constraint.
 	Feasible bool
+}
+
+// Equal reports whether two evaluations are bit-identical (Evaluation
+// is not ==-comparable because of the Values slice).
+func (e Evaluation) Equal(u Evaluation) bool {
+	if e.Value != u.Value || e.Feasible != u.Feasible || len(e.Values) != len(u.Values) {
+		return false
+	}
+	for i := range e.Values {
+		if e.Values[i] != u.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ObjectiveVector returns the trial's maximize-oriented objective
+// vector: Values when present, otherwise the 1-vector {Value}. Nil for
+// infeasible evaluations.
+func (e Evaluation) ObjectiveVector() []float64 {
+	if !e.Feasible {
+		return nil
+	}
+	if e.Values != nil {
+		return e.Values
+	}
+	return []float64{e.Value}
 }
 
 // Objective evaluates a hyperparameter vector.
@@ -45,6 +80,13 @@ type BatchObjective func(idxs [][arch.NumParams]int) []Evaluation
 type Trial struct {
 	Index [arch.NumParams]int
 	Evaluation
+}
+
+// Equal reports whether two trials are bit-identical: same index
+// vector, scalar value, objective vector, and feasibility. (Trial is
+// not ==-comparable because of the Values slice.)
+func (t Trial) Equal(u Trial) bool {
+	return t.Index == u.Index && t.Evaluation.Equal(u.Evaluation)
 }
 
 // Result is a completed study.
@@ -105,6 +147,10 @@ const (
 	// AlgBayes is the surrogate-model (Bayesian) optimizer, Vizier's
 	// default family.
 	AlgBayes Algorithm = "bayesian"
+	// AlgNSGA2 is the elitist non-dominated-sorting genetic algorithm
+	// for multi-objective (Pareto-front) studies. On scalar objectives
+	// it degenerates to a plain elitist GA.
+	AlgNSGA2 Algorithm = "nsga2"
 )
 
 // Optimizer is the batch ask/tell protocol every search family speaks.
@@ -140,6 +186,8 @@ func New(alg Algorithm, seed int64, budget int) Optimizer {
 		return NewLCS(seed, budget)
 	case AlgBayes:
 		return NewBayesian(seed, budget)
+	case AlgNSGA2:
+		return NewNSGA2(seed, budget)
 	default:
 		return NewRandom(seed)
 	}

@@ -20,6 +20,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fast/internal/arch"
 	"fast/internal/fusion"
@@ -28,6 +29,17 @@ import (
 	"fast/internal/power"
 	"fast/internal/vpu"
 )
+
+// evalCount counts design evaluations process-wide: every Evaluate call
+// and every design in an EvaluateBatch adds one, regardless of how many
+// memoized stages it hits. Tests use the delta to assert evaluation
+// budgets (e.g. that a multi-objective study costs one evaluation per
+// design, not one per objective); the single relaxed atomic add is
+// noise next to the ~µs evaluate itself.
+var evalCount atomic.Int64
+
+// EvalCount returns the process-wide design-evaluation count.
+func EvalCount() int64 { return evalCount.Load() }
 
 // dwVPUEff derates VPU throughput for windowed depthwise access under
 // the production lowering (see Options.DepthwiseOnVPU).
@@ -238,6 +250,7 @@ func (p *Plan) Evaluate(cfg *arch.Config) (*Result, error) {
 // variant evaluations of an AutoSoftmax run: the mapper never depends on
 // the softmax algorithm.
 func (p *Plan) evaluateValidated(cfg *arch.Config) *Result {
+	evalCount.Add(1)
 	mapped := p.mappedFor(cfg)
 	extras := p.floorFor(capacityBytes(cfg))
 	if p.opts.AutoSoftmax {

@@ -8,8 +8,10 @@
 #      worktree ON THIS MACHINE and use its trials/s (what CI sets: the
 #      PR base or the previous commit — immune to hardware differences
 #      between the baseline box and the runner)
-#   3. BENCH_PR3.json                     the checked-in baseline (local
-#      runs on the reference box)
+#   3. newest BENCH_PR*.json              the checked-in baseline (local
+#      runs on the reference box); highest PR number wins, so landing a
+#      new baseline file needs no script edit. Override the file with
+#      BENCH_GATE_BASELINE_JSON.
 #
 # Other knobs:
 #   BENCH_GATE_TOLERANCE=25 scripts/bench_gate.sh    # looser tolerance (%)
@@ -30,7 +32,13 @@ if [ "${BENCH_GATE_SKIP:-0}" = "1" ]; then
 	exit 0
 fi
 
-BASELINE_JSON=${BENCH_GATE_BASELINE_JSON:-BENCH_PR3.json}
+BASELINE_JSON=${BENCH_GATE_BASELINE_JSON:-}
+if [ -z "$BASELINE_JSON" ]; then
+	# Newest checked-in baseline by PR number (version sort: PR10 > PR9).
+	# Portable: with no match the glob stays literal and the -f check
+	# below reports the missing baseline.
+	BASELINE_JSON=$(printf '%s\n' BENCH_PR*.json | sort -V | tail -n 1)
+fi
 TOLERANCE=${BENCH_GATE_TOLERANCE:-15}
 RUNS=${BENCH_GATE_RUNS:-3}
 
