@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"fast/internal/arch"
 	"fast/internal/experiments"
@@ -360,4 +361,70 @@ func BenchmarkEvaluateBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
+// BenchmarkFullILPEvaluate measures the exact-ILP fusion evaluate path
+// — the winner re-simulation / reporting-table workload — on three
+// ILP-dominated reference instances, with the sparse revised-simplex
+// core against the frozen dense-tableau reference. Each iteration
+// perturbs the clock so the fusion-stage memo misses and every design
+// pays a fresh branch-and-bound solve, while the mapping stage (which
+// never reads the clock) stays warm; the benchmark therefore isolates
+// the ILP. nodes/op reports branch-and-bound nodes explored per
+// iteration across the three instances.
+func BenchmarkFullILPEvaluate(b *testing.B) {
+	instances := []struct {
+		model string
+		cfg   *arch.Config
+	}{
+		{"ocr-rpn", arch.FASTSmall()},
+		{"resnet50", arch.FASTSmall()},
+		{"bert-1024", arch.FASTSmall()},
+	}
+	for _, v := range []struct {
+		name  string
+		dense bool
+	}{{"sparse", false}, {"dense", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			opts := sim.FASTOptions()
+			opts.Fusion.GreedyOnly = false
+			// No deadline pressure: both solvers must prove optimality, so
+			// ns/op compares full exact solves, not incumbent cutoffs.
+			opts.Fusion.Deadline = 5 * time.Minute
+			opts.Fusion.DenseILP = v.dense
+			plans := make([]*sim.Plan, len(instances))
+			for i, inst := range instances {
+				g := models.MustBuild(inst.model, inst.cfg.NativeBatch)
+				p, err := sim.Compile(g, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm the clock-independent stages (mapping, floors).
+				if _, err := p.Evaluate(inst.cfg); err != nil {
+					b.Fatal(err)
+				}
+				plans[i] = p
+			}
+			var nodes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k, inst := range instances {
+					cfg := inst.cfg.Clone("ilp-bench")
+					cfg.ClockGHz += float64(i%512+1) * 1e-4
+					r, err := plans[k].Evaluate(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.ScheduleFailed {
+						b.Fatalf("%s: schedule failure", inst.model)
+					}
+					if r.Fusion.Method != "ilp-optimal" {
+						b.Fatalf("%s: method %s, want proven optimality", inst.model, r.Fusion.Method)
+					}
+					nodes += int64(r.Fusion.Nodes)
+				}
+			}
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+		})
+	}
 }

@@ -25,7 +25,8 @@ func main() {
 		convergo = flag.Int("convergence-trials", 150, "per-curve trials for fig11")
 		repeats  = flag.Int("repeats", 3, "repeats per heuristic for fig11 (paper: 5)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
-		parallel = flag.Int("parallel", 0, "concurrent evaluations per search (0 = one per CPU); results are identical at any setting")
+		parallel = flag.Int("parallel", 0, "concurrent evaluations per search and reporting simulations per table (0 = one per CPU); search results are identical at any setting, table cells too unless -ilp-deadline expires mid-solve under load")
+		ilpDl    = flag.Duration("ilp-deadline", time.Second, "deadline per exact fusion-ILP solve on the reporting paths; a deadline hit reports the greedy-seeded incumbent with its optimality gap")
 		markdown = flag.Bool("markdown", false, "emit GitHub markdown")
 		csv      = flag.Bool("csv", false, "emit CSV (for plotting)")
 	)
@@ -37,6 +38,7 @@ func main() {
 		Repeats:           *repeats,
 		Seed:              *seed,
 		Parallelism:       *parallel,
+		ILPDeadline:       *ilpDl,
 	})
 
 	ids := experiments.IDs()

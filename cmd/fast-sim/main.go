@@ -13,8 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
+	"time"
 
 	"fast"
 	"fast/internal/sim"
@@ -28,6 +30,8 @@ func main() {
 		stack      = flag.String("stack", "fast", "software stack: fast (all schedules + fusion) or baseline (production TPU stack)")
 		batch      = flag.Int64("batch", 0, "override the design's native batch size (power of 2)")
 		twoPass    = flag.Bool("two-pass-softmax", false, "force the two-pass softmax (default: auto with -stack fast)")
+		ilpDeadln  = flag.Duration("ilp-deadline", 2*time.Second, "deadline per exact fusion-ILP solve; on expiry the greedy-seeded incumbent is reported with its optimality gap")
+		greedyFus  = flag.Bool("greedy-fusion", false, "skip the exact ILP and report the greedy fusion solve (the search-loop stack)")
 		blocks     = flag.Bool("blocks", false, "print the per-block utilization table")
 		dot        = flag.String("dot", "", "write the workload graph (clustered by fusion region) to this DOT file")
 		classes    = flag.Bool("classes", true, "print the per-op-class runtime breakdown")
@@ -54,6 +58,10 @@ func main() {
 	switch *stack {
 	case "fast":
 		opts = fast.FASTOptions()
+		// The single-design report is a final-metrics path: run the exact
+		// branch-and-bound fusion solve (greedy only on request).
+		opts.Fusion.GreedyOnly = *greedyFus
+		opts.Fusion.Deadline = *ilpDeadln
 	case "baseline":
 		opts = fast.BaselineOptions()
 	default:
@@ -104,8 +112,20 @@ func main() {
 	fmt.Printf("compute utilization %.3f of peak\n", r.Utilization)
 	fmt.Printf("op intensity        %.1f -> %.1f FLOPs/B (pre -> post fusion; ridgepoint %.1f)\n",
 		r.OpIntensityPre, r.OpIntensityPost, cfg.Ridgepoint())
+	method := r.Fusion.Method
+	switch method {
+	case "ilp-optimal":
+		method = fmt.Sprintf("%s, %d nodes", method, r.Fusion.Nodes)
+	case "ilp-incumbent":
+		// Deadline hit: the greedy-seeded incumbent with its proven bound.
+		gap := "gap unbounded"
+		if !math.IsInf(r.Fusion.Gap, 1) {
+			gap = fmt.Sprintf("gap %.1f%%", r.Fusion.Gap*100)
+		}
+		method = fmt.Sprintf("%s, %s, %d nodes", method, gap, r.Fusion.Nodes)
+	}
 	fmt.Printf("memory stall        %.1f%% -> %.1f%% (fusion efficiency %.1f%%, method %s)\n",
-		r.MemStallPre*100, r.MemStallPost*100, r.FusionEfficiency*100, r.Fusion.Method)
+		r.MemStallPre*100, r.MemStallPost*100, r.FusionEfficiency*100, method)
 	fmt.Printf("GM residency peak   %.1f MiB of %d MiB\n", float64(r.Fusion.GMUsedPeak)/(1<<20), cfg.GlobalMiB)
 	fmt.Printf("softmax algorithm   %s\n", r.SoftmaxAlgorithm)
 	pm := fast.DefaultPowerModel()

@@ -380,22 +380,46 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	// process-wide plan cache: the compiled plan (and its memoized
 	// mapping/fusion stages) is shared with later re-evaluations of the
 	// same winner — EvaluateDesign, repeated studies — so only the first
-	// pass pays the ILP.
+	// pass pays the ILP. The per-workload solves are independent exact
+	// ILPs, so they fan out across the Run's worker-pool bound.
 	finalOpts := simOpts
 	finalOpts.Fusion.GreedyOnly = false
-	finalFP := finalOpts.Fingerprint()
-	for _, w := range s.Workloads {
-		plan, err := plans.get(w, out.Best.NativeBatch, finalFP, finalOpts)
-		if err != nil {
-			return nil, err
-		}
-		r, err := plan.Evaluate(out.Best)
-		if err != nil {
-			return nil, err
-		}
-		out.PerWorkload = append(out.PerWorkload, WorkloadResult{Name: w, Result: r})
+	pw, err := evaluateParallel(rc.parallelism, s.Workloads, out.Best, finalOpts)
+	if err != nil {
+		return nil, err
 	}
+	out.PerWorkload = pw
 	return out, nil
+}
+
+// evaluateParallel simulates one design on every workload with opts,
+// fanning the independent (workload) jobs — full-ILP fusion solves on
+// the re-simulation paths — across a ForEach pool. Results keep
+// workload order regardless of parallelism.
+func evaluateParallel(parallelism int, workloads []string, cfg *arch.Config, opts sim.Options) ([]WorkloadResult, error) {
+	fp := opts.Fingerprint()
+	results := make([]WorkloadResult, len(workloads))
+	errs := make([]error, len(workloads))
+	ForEach(parallelism, len(workloads), func(i int) {
+		w := workloads[i]
+		plan, err := plans.get(w, cfg.NativeBatch, fp, opts)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r, err := plan.Evaluate(cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = WorkloadResult{Name: w, Result: r}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // makeObjectives builds the Runner's evaluation closures: the per-point
@@ -587,22 +611,11 @@ func shortName(ws []string) string {
 // EvaluateDesign simulates a fixed design across workloads with the given
 // options (used by the Table 5/6 and Figure 9/10 harnesses). Compiled
 // plans come from the process-wide cache shared with Study.Run, so
-// re-evaluating a design after a search recompiles nothing.
+// re-evaluating a design after a search recompiles nothing; the
+// per-workload evaluations (full exact-ILP fusion solves when opts asks
+// for them) run concurrently, one worker per CPU.
 func EvaluateDesign(cfg *arch.Config, workloads []string, opts sim.Options) ([]WorkloadResult, error) {
-	fp := opts.Fingerprint()
-	var out []WorkloadResult
-	for _, w := range workloads {
-		plan, err := plans.get(w, cfg.NativeBatch, fp, opts)
-		if err != nil {
-			return nil, err
-		}
-		r, err := plan.Evaluate(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, WorkloadResult{Name: w, Result: r})
-	}
-	return out, nil
+	return evaluateParallel(0, workloads, cfg, opts)
 }
 
 // GeoMean returns the geometric mean of f over the results.

@@ -134,21 +134,35 @@ func (s *Study) runMulti(ctx context.Context, rc runConfig, base *arch.Config, p
 	// Final evaluation of every front point with the full ILP fusion
 	// solve, through the process-wide plan cache (one compile per
 	// (workload, batch); fusion placements memoized across points that
-	// share the relevant parameter sub-tuple).
+	// share the relevant parameter sub-tuple). The (point, workload)
+	// pairs are independent exact ILPs, so the whole cross product fans
+	// out across one ForEach pool; results land in index-addressed slots,
+	// keeping the front identical at any parallelism.
 	finalOpts := simOpts
 	finalOpts.Fusion.GreedyOnly = false
 	finalFP := finalOpts.Fingerprint()
+	nw := len(s.Workloads)
 	for i := range out.front {
-		for _, w := range s.Workloads {
-			plan, err := plans.get(w, out.front[i].Design.NativeBatch, finalFP, finalOpts)
-			if err != nil {
-				return nil, err
-			}
-			r, err := plan.Evaluate(out.front[i].Design)
-			if err != nil {
-				return nil, err
-			}
-			out.front[i].PerWorkload = append(out.front[i].PerWorkload, WorkloadResult{Name: w, Result: r})
+		out.front[i].PerWorkload = make([]WorkloadResult, nw)
+	}
+	errs := make([]error, len(out.front)*nw)
+	ForEach(rc.parallelism, len(out.front)*nw, func(k int) {
+		pt, w := &out.front[k/nw], s.Workloads[k%nw]
+		plan, err := plans.get(w, pt.Design.NativeBatch, finalFP, finalOpts)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		r, err := plan.Evaluate(pt.Design)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		pt.PerWorkload[k%nw] = WorkloadResult{Name: w, Result: r}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -4,26 +4,28 @@ import (
 	"fmt"
 
 	"fast/internal/arch"
+	"fast/internal/core"
 	"fast/internal/fusion"
-	"fast/internal/models"
 	"fast/internal/power"
 	"fast/internal/sim"
 )
 
 // baselinePerfPerTDP simulates the die-shrunk TPU-v3 baseline on a
-// workload and returns its Perf/TDP.
+// workload and returns its Perf/TDP; repeated calls across tables hit
+// the process-wide plan cache.
 func baselinePerfPerTDP(workload string) float64 {
-	cfg := arch.DieShrunkTPUv3()
-	r, err := sim.Simulate(models.MustBuild(workload, cfg.NativeBatch), cfg, sim.BaselineOptions())
+	wr, err := core.EvaluateDesign(arch.DieShrunkTPUv3(), []string{workload}, sim.BaselineOptions())
 	if err != nil {
 		panic(err)
 	}
-	return r.PerfPerTDP
+	return wr[0].Result.PerfPerTDP
 }
 
 // Table5Designs reproduces Table 5: the modeled TPU-v3, FAST-Large and
-// FAST-Small designs on EfficientNet-B7.
-func Table5Designs() Table {
+// FAST-Small designs on EfficientNet-B7. The FAST columns use the
+// exact-ILP fusion solve (deadline per Options), run concurrently.
+func Table5Designs(o Options) Table {
+	o = o.withDefaults()
 	t := Table{
 		ID:     "table5",
 		Title:  "Example designs on EfficientNet-B7 (Table 5)",
@@ -42,15 +44,14 @@ func Table5Designs() Table {
 	}
 	cols := []col{
 		{cfg: arch.DieShrunkTPUv3(), opts: sim.BaselineOptions()},
-		{cfg: arch.FASTLarge(), opts: sim.FASTOptions()},
-		{cfg: arch.FASTSmall(), opts: sim.FASTOptions()},
+		{cfg: arch.FASTLarge(), opts: o.fullILP()},
+		{cfg: arch.FASTSmall(), opts: o.fullILP()},
 	}
+	jobs := make([]simJob, len(cols))
 	for i := range cols {
-		g := models.MustBuild("efficientnet-b7", cols[i].cfg.NativeBatch)
-		r, err := sim.Simulate(g, cols[i].cfg, cols[i].opts)
-		if err != nil {
-			panic(err)
-		}
+		jobs[i] = simJob{"efficientnet-b7", cols[i].cfg, cols[i].opts}
+	}
+	for i, r := range simAll(o.Parallelism, jobs) {
 		cols[i].res = r
 	}
 	row := func(metric string, f func(col) string) {
@@ -83,8 +84,11 @@ func Table5Designs() Table {
 
 // Table6Ablation reproduces Table 6: FAST-Large with single components
 // reverted to their TPU-v3 values, measured as Perf/TDP vs the die-shrunk
-// baseline (and, in parentheses, vs unmodified FAST-Large).
-func Table6Ablation() Table {
+// baseline (and, in parentheses, vs unmodified FAST-Large). Every
+// (variant, workload) cell is an exact-ILP simulation; the full cross
+// product fans out across one worker pool.
+func Table6Ablation(o Options) Table {
+	o = o.withDefaults()
 	t := Table{
 		ID:     "table6",
 		Title:  "FAST-Large ablation (Perf/TDP vs die-shrunk TPU-v3)",
@@ -105,16 +109,16 @@ func Table6Ablation() Table {
 		cfg  *arch.Config
 		opts sim.Options
 	}{
-		{"FAST-Large", arch.FASTLarge(), sim.FASTOptions()},
+		{"FAST-Large", arch.FASTLarge(), o.fullILP()},
 		{"With 16MB Global Mem", func() *arch.Config {
 			c := arch.FASTLarge().Clone("fl-16mb")
 			c.GlobalMiB = 16
 			return c
-		}(), sim.FASTOptions()},
+		}(), o.fullILP()},
 		{"Without FAST Fusion", arch.FASTLarge().Clone("fl-nofusion"), func() sim.Options {
-			o := sim.FASTOptions()
-			o.Fusion = fusion.Options{Disable: true}
-			return o
+			so := sim.FASTOptions()
+			so.Fusion = fusion.Options{Disable: true}
+			return so
 		}()},
 		{"With 128x128 systolic arrays", func() *arch.Config {
 			// Keep peak FLOPS constant: 4 PEs of 128×128 = 64 PEs of 32×32.
@@ -124,23 +128,27 @@ func Table6Ablation() Table {
 			c.L1WeightKiB = 64 // a 128x128 tile needs the TPU-sized buffer
 			c.L1InputKiB, c.L1OutputKiB = 64, 64
 			return c
-		}(), sim.FASTOptions()},
+		}(), o.fullILP()},
 		{"With 64KB L1 scratchpads", func() *arch.Config {
 			c := arch.FASTLarge().Clone("fl-64kl1")
 			c.L1InputKiB, c.L1WeightKiB, c.L1OutputKiB = 64, 64, 64
 			return c
-		}(), sim.FASTOptions()},
+		}(), o.fullILP()},
 	}
 
-	flRatio := map[string]float64{}
+	var jobs []simJob
 	for _, v := range variants {
-		row := []string{v.name}
 		for _, w := range workloads {
-			g := models.MustBuild(w, v.cfg.NativeBatch)
-			r, err := sim.Simulate(g, v.cfg, v.opts)
-			if err != nil {
-				panic(err)
-			}
+			jobs = append(jobs, simJob{w, v.cfg, v.opts})
+		}
+	}
+	results := simAll(o.Parallelism, jobs)
+
+	flRatio := map[string]float64{}
+	for vi, v := range variants {
+		row := []string{v.name}
+		for wi, w := range workloads {
+			r := results[vi*len(workloads)+wi]
 			ratio := 0.0
 			if !r.ScheduleFailed {
 				ratio = r.PerfPerTDP / base[w]
@@ -162,7 +170,10 @@ func Table6Ablation() Table {
 // Fig13FusionSweep reproduces Figure 13: post-fusion operational
 // intensity sweeping Global Memory capacity (columns) and batch size
 // (rows) on an otherwise-fixed FAST-Large, for EfficientNet-B0 and B7.
-func Fig13FusionSweep() Table {
+// Every grid cell is an independent exact-ILP fusion solve; the whole
+// 40-instance sweep fans out across one worker pool.
+func Fig13FusionSweep(o Options) Table {
+	o = o.withDefaults()
 	t := Table{
 		ID:     "fig13",
 		Title:  "Post-fusion op intensity: Global Memory × batch (FAST-Large)",
@@ -173,23 +184,29 @@ func Fig13FusionSweep() Table {
 			"B7 needs small batches.",
 	}
 	gms := []int64{16, 32, 64, 128, 256}
-	opts := sim.FASTOptions()
+	opts := o.fullILP()
 	// Figure 13 uses the paper's conservative whole-tensor residency
 	// assumption, which is what makes smaller batches win (§5.5).
 	opts.WholeTensorFusion = true
+	var jobs []simJob
 	for _, model := range []string{"efficientnet-b0", "efficientnet-b7"} {
 		for _, batch := range []int64{1, 8, 32, 64} {
-			row := []string{model, fmt.Sprintf("%d", batch)}
 			for _, gm := range gms {
 				cfg := arch.FASTLarge().Clone(fmt.Sprintf("fl-gm%d-b%d", gm, batch))
 				cfg.GlobalMiB = gm
 				cfg.NativeBatch = batch
-				g := models.MustBuild(model, batch)
-				r, err := sim.Simulate(g, cfg, opts)
-				if err != nil {
-					panic(err)
-				}
-				row = append(row, f1(r.OpIntensityPost))
+				jobs = append(jobs, simJob{model, cfg, opts})
+			}
+		}
+	}
+	results := simAll(o.Parallelism, jobs)
+	k := 0
+	for _, model := range []string{"efficientnet-b0", "efficientnet-b7"} {
+		for _, batch := range []int64{1, 8, 32, 64} {
+			row := []string{model, fmt.Sprintf("%d", batch)}
+			for range gms {
+				row = append(row, f1(results[k].OpIntensityPost))
+				k++
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -200,7 +217,8 @@ func Fig13FusionSweep() Table {
 // Fig14PerLayerFAST reproduces Figure 14: EfficientNet-B7 per-block
 // fraction of peak on FAST-Large, with and without fusion, against the
 // TPU-v3 curve.
-func Fig14PerLayerFAST() Table {
+func Fig14PerLayerFAST(o Options) Table {
+	o = o.withDefaults()
 	t := Table{
 		ID:     "fig14",
 		Title:  "EfficientNet-B7 per-layer fraction of peak: TPU-v3 vs FAST-Large ± fusion",
@@ -209,22 +227,15 @@ func Fig14PerLayerFAST() Table {
 			"bottlenecked until FAST fusion is enabled.",
 	}
 	tpuCfg := arch.TPUv3()
-	tpu, err := sim.Simulate(models.MustBuild("efficientnet-b7", tpuCfg.NativeBatch), tpuCfg, sim.BaselineOptions())
-	if err != nil {
-		panic(err)
-	}
 	fl := arch.FASTLarge()
-	g := models.MustBuild("efficientnet-b7", fl.NativeBatch)
 	noFuseOpts := sim.FASTOptions()
 	noFuseOpts.Fusion = fusion.Options{Disable: true}
-	noFuse, err := sim.Simulate(g, fl, noFuseOpts)
-	if err != nil {
-		panic(err)
-	}
-	fused, err := sim.Simulate(g, fl, sim.FASTOptions())
-	if err != nil {
-		panic(err)
-	}
+	results := simAll(o.Parallelism, []simJob{
+		{"efficientnet-b7", tpuCfg, sim.BaselineOptions()},
+		{"efficientnet-b7", fl, noFuseOpts},
+		{"efficientnet-b7", fl, o.fullILP()},
+	})
+	tpu, noFuse, fused := results[0], results[1], results[2]
 	tpuBy := map[string]float64{}
 	for _, b := range tpu.ByBlock() {
 		tpuBy[b.Block] = b.Utilization
@@ -242,7 +253,8 @@ func Fig14PerLayerFAST() Table {
 // Fig15Breakdown reproduces Figure 15: the additive contribution of FAST
 // scheduling, datapath, and fusion over a single TPU-v3 core on
 // EfficientNet-B7 (comparing against a halved FAST-Large with 32 PEs).
-func Fig15Breakdown() Table {
+func Fig15Breakdown(o Options) Table {
+	o = o.withDefaults()
 	t := Table{
 		ID:     "fig15",
 		Title:  "Component breakdown vs single TPU-v3 core (EfficientNet-B7 QPS)",
@@ -260,35 +272,29 @@ func Fig15Breakdown() Table {
 	halfFL := arch.FASTLarge().Clone("fast-large-half")
 	halfFL.PEsX, halfFL.PEsY = 8, 4
 
+	noFuse := func() sim.Options {
+		so := sim.FASTOptions()
+		so.Fusion = fusion.Options{Disable: true}
+		return so
+	}
 	rows := []struct {
 		name string
 		cfg  *arch.Config
 		opts sim.Options
 	}{
 		{"TPU-v3 core (production schedule)", oneCore, sim.BaselineOptions()},
-		{"+ FAST scheduling", oneCore, func() sim.Options {
-			o := sim.FASTOptions()
-			o.Fusion = fusion.Options{Disable: true}
-			return o
-		}()},
-		{"+ datapath (32 PEs of 32x32, 128MiB GM), no fusion", halfFL, func() sim.Options {
-			o := sim.FASTOptions()
-			o.Fusion = fusion.Options{Disable: true}
-			return o
-		}()},
-		{"+ FAST fusion (full stack)", halfFL, sim.FASTOptions()},
+		{"+ FAST scheduling", oneCore, noFuse()},
+		{"+ datapath (32 PEs of 32x32, 128MiB GM), no fusion", halfFL, noFuse()},
+		{"+ FAST fusion (full stack)", halfFL, o.fullILP()},
 	}
-	var baseQPS float64
+	jobs := make([]simJob, len(rows))
 	for i, rc := range rows {
-		g := models.MustBuild("efficientnet-b7", rc.cfg.NativeBatch)
-		r, err := sim.Simulate(g, rc.cfg, rc.opts)
-		if err != nil {
-			panic(err)
-		}
-		if i == 0 {
-			baseQPS = r.QPS
-		}
-		t.Rows = append(t.Rows, []string{rc.name, f1(r.QPS), f2(r.QPS/baseQPS) + "x"})
+		jobs[i] = simJob{"efficientnet-b7", rc.cfg, rc.opts}
+	}
+	results := simAll(o.Parallelism, jobs)
+	baseQPS := results[0].QPS
+	for i, rc := range rows {
+		t.Rows = append(t.Rows, []string{rc.name, f1(results[i].QPS), f2(results[i].QPS/baseQPS) + "x"})
 	}
 	return t
 }

@@ -4,11 +4,13 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyOpts compresses search budgets so the whole registry runs in test
 // time.
-var tinyOpts = Options{SearchTrials: 12, ConvergenceTrials: 12, Repeats: 1, Seed: 1}
+var tinyOpts = Options{SearchTrials: 12, ConvergenceTrials: 12, Repeats: 1, Seed: 1,
+	ILPDeadline: 200 * time.Millisecond}
 
 func cell(t Table, row, col int) float64 {
 	s := strings.Fields(t.Rows[row][col])[0]
@@ -35,11 +37,14 @@ func TestRegistryComplete(t *testing.T) {
 func TestCheapExperimentsProduceRows(t *testing.T) {
 	// Every non-search experiment must produce a non-empty, well-formed
 	// table quickly.
+	withTiny := func(gen func(Options) Table) func() Table {
+		return func() Table { return gen(tinyOpts) }
+	}
 	cheap := []func() Table{
 		Table1WorkingSets, Table2OpBreakdown, Fig2StepTimeVsAccuracy,
 		Fig3OpIntensity, Fig4PerLayerUtil, Fig5BERTBreakdown,
-		Fig6ROICurves, Fig13FusionSweep, Fig14PerLayerFAST,
-		Fig15Breakdown, Table5Designs, Table6Ablation,
+		Fig6ROICurves, withTiny(Fig13FusionSweep), withTiny(Fig14PerLayerFAST),
+		withTiny(Fig15Breakdown), withTiny(Table5Designs), withTiny(Table6Ablation),
 	}
 	for _, gen := range cheap {
 		tab := gen()
@@ -108,7 +113,7 @@ func TestFig5AttentionGrows(t *testing.T) {
 }
 
 func TestFig13Directions(t *testing.T) {
-	tab := Fig13FusionSweep()
+	tab := Fig13FusionSweep(tinyOpts)
 	// Within each row intensity must be non-decreasing in Global Memory;
 	// within each (model, GM) column it must be non-increasing in batch.
 	for _, row := range tab.Rows {
@@ -142,7 +147,7 @@ func TestFig13Directions(t *testing.T) {
 }
 
 func TestFig15AdditiveImprovements(t *testing.T) {
-	tab := Fig15Breakdown()
+	tab := Fig15Breakdown(tinyOpts)
 	prev := 0.0
 	for i, row := range tab.Rows {
 		v := cell(tab, i, 2)
@@ -160,7 +165,7 @@ func TestFig15AdditiveImprovements(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
-	tab := Table5Designs()
+	tab := Table5Designs(tinyOpts)
 	find := func(metric string) []string {
 		for _, row := range tab.Rows {
 			if row[0] == metric {
@@ -185,7 +190,7 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestTable6EveryComponentMatters(t *testing.T) {
-	tab := Table6Ablation()
+	tab := Table6Ablation(tinyOpts)
 	// Row 0 is unmodified FAST-Large; every later row must be worse on
 	// EfficientNet-B7.
 	base := cell(tab, 0, 1)

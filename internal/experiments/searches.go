@@ -16,13 +16,20 @@ import (
 )
 
 // runStudy executes one FAST search study at the harness parallelism.
+// The study's software stack carries the harness ILP deadline, so the
+// final winner re-simulation (the study's exact-ILP pass) honours the
+// same per-solve budget as the reporting tables.
 func runStudy(o Options, workloads []string, obj core.ObjectiveKind, trials int, seed int64) *core.StudyResult {
+	o = o.withDefaults()
+	simOpts := sim.FASTOptions()
+	simOpts.Fusion.Deadline = o.ILPDeadline
 	res, err := (&core.Study{
-		Workloads: workloads,
-		Objective: obj,
-		Algorithm: search.AlgLCS,
-		Trials:    trials,
-		Seed:      seed,
+		Workloads:  workloads,
+		Objective:  obj,
+		Algorithm:  search.AlgLCS,
+		Trials:     trials,
+		Seed:       seed,
+		SimOptions: &simOpts,
 	}).Run(context.Background(), core.WithParallelism(o.Parallelism))
 	if err != nil {
 		panic(err)
@@ -44,21 +51,34 @@ func searchSpeedups(o Options, obj core.ObjectiveKind, metric func(*sim.Result) 
 	suite := models.FullSuite()
 	multiRes := runStudy(o, models.MultiWorkloadSuite(), obj, o.SearchTrials, o.Seed+1000)
 
+	// Per-workload baseline and scheduling+fusion reporting sims: 2×|suite|
+	// independent jobs (the sched column carries an exact-ILP fusion solve
+	// on the TPU-v3 datapath), fanned out before the per-workload studies.
+	tpu := arch.DieShrunkTPUv3()
+	jobs := make([]simJob, 0, 2*len(suite))
+	for _, w := range suite {
+		jobs = append(jobs,
+			simJob{w, tpu, sim.BaselineOptions()},
+			simJob{w, tpu, o.fullILP()})
+	}
+	sims := simAll(o.Parallelism, jobs)
+
+	// The multi-workload winner's per-workload exact-ILP evaluations are
+	// independent too: one EvaluateDesign call over the whole suite fans
+	// them out together instead of one serial solve per row.
+	var multiWR []core.WorkloadResult
+	if multiRes.Best != nil {
+		var err error
+		multiWR, err = core.EvaluateDesign(multiRes.Best, suite, o.fullILP())
+		if err != nil {
+			panic(err)
+		}
+	}
+
 	var rows []speedupRow
 	for i, w := range suite {
-		// Baseline.
-		tpu := arch.DieShrunkTPUv3()
-		base, err := sim.Simulate(models.MustBuild(w, tpu.NativeBatch), tpu, sim.BaselineOptions())
-		if err != nil {
-			panic(err)
-		}
+		base, sched := sims[2*i], sims[2*i+1]
 		baseV := metric(base)
-
-		// Scheduling+fusion only on the TPU-v3 datapath.
-		sched, err := sim.Simulate(models.MustBuild(w, tpu.NativeBatch), tpu, sim.FASTOptions())
-		if err != nil {
-			panic(err)
-		}
 
 		// Single-workload search.
 		single := runStudy(o, []string{w}, obj, o.SearchTrials, o.Seed+int64(i))
@@ -69,14 +89,8 @@ func searchSpeedups(o Options, obj core.ObjectiveKind, metric func(*sim.Result) 
 
 		// Multi-workload design evaluated on this workload.
 		multiV := 0.0
-		if multiRes.Best != nil {
-			wr, err := core.EvaluateDesign(multiRes.Best, []string{w}, sim.FASTOptions())
-			if err != nil {
-				panic(err)
-			}
-			if !wr[0].Result.ScheduleFailed {
-				multiV = metric(wr[0].Result)
-			}
+		if multiWR != nil && !multiWR[i].Result.ScheduleFailed {
+			multiV = metric(multiWR[i].Result)
 		}
 		rows = append(rows, speedupRow{
 			workload:  w,

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Table is a rendered experiment result.
@@ -84,9 +85,17 @@ type Options struct {
 	Repeats int
 	// Seed for determinism.
 	Seed int64
-	// Parallelism bounds concurrent candidate evaluations per study
-	// (0 = one worker per CPU). Results are identical at any setting.
+	// Parallelism bounds concurrent candidate evaluations per study and
+	// concurrent reporting simulations per table (0 = one worker per
+	// CPU). Search trajectories are identical at any setting; reporting
+	// cells are too unless a wall-clock ILPDeadline expires mid-solve
+	// under contention (the cell then shows the greedy-seeded incumbent
+	// instead of the proven optimum).
 	Parallelism int
+	// ILPDeadline bounds each exact fusion-ILP solve on the reporting
+	// paths (default 1s). A deadline hit reports the greedy-seeded
+	// incumbent with its optimality gap instead of failing the table.
+	ILPDeadline time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +108,9 @@ func (o Options) withDefaults() Options {
 	if o.Repeats == 0 {
 		o.Repeats = 3
 	}
+	if o.ILPDeadline == 0 {
+		o.ILPDeadline = time.Second
+	}
 	return o
 }
 
@@ -109,8 +121,8 @@ func Registry(o Options) map[string]func() Table {
 		"table1":   Table1WorkingSets,
 		"table2":   Table2OpBreakdown,
 		"table4":   func() Table { return Table4ROIVolumes(o) },
-		"table5":   Table5Designs,
-		"table6":   Table6Ablation,
+		"table5":   func() Table { return Table5Designs(o) },
+		"table6":   func() Table { return Table6Ablation(o) },
 		"fig2":     Fig2StepTimeVsAccuracy,
 		"fig3":     Fig3OpIntensity,
 		"fig4":     Fig4PerLayerUtil,
@@ -121,9 +133,9 @@ func Registry(o Options) map[string]func() Table {
 		"fig11":    func() Table { return Fig11Convergence(o) },
 		"fig12":    func() Table { return Fig12Pareto(o) },
 		"frontier": func() Table { return FrontierTradeoff(o) },
-		"fig13":    Fig13FusionSweep,
-		"fig14":    Fig14PerLayerFAST,
-		"fig15":    Fig15Breakdown,
+		"fig13":    func() Table { return Fig13FusionSweep(o) },
+		"fig14":    func() Table { return Fig14PerLayerFAST(o) },
+		"fig15":    func() Table { return Fig15Breakdown(o) },
 	}
 }
 

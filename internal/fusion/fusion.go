@@ -92,6 +92,14 @@ type Solution struct {
 	// Method records how the solution was obtained: "ilp-optimal",
 	// "ilp-incumbent", "greedy", or "disabled".
 	Method string
+	// Gap is the relative optimality gap the ILP reported when the
+	// deadline expired before optimality was proven (Method
+	// "ilp-incumbent"); zero otherwise. +Inf means no usable bound
+	// survived the early exit.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes the ILP explored
+	// (zero for the non-ILP methods).
+	Nodes int
 }
 
 // Options configures Optimize.
@@ -109,6 +117,10 @@ type Options struct {
 	// Window is the residency window W (0 → DefaultWindow; 1 reproduces
 	// the paper's strict adjacency).
 	Window int
+	// DenseILP routes the exact solve through the frozen dense-tableau
+	// reference solver instead of the sparse revised-simplex core.
+	// Retained for differential tests and dense-vs-sparse benchmarks.
+	DenseILP bool
 }
 
 // regionTime evaluates max(TMin, TMax - saved).
@@ -161,6 +173,20 @@ func UsableEdges(producers []int, window int) []bool {
 	return usable
 }
 
+// Assignment is the memoizable output of SolvePlanned: the placement
+// decision plus the solve provenance. The slices are owned by the
+// Assignment and treated as read-only by ResolvePlanned, so one
+// Assignment can back many concurrent Solutions.
+type Assignment struct {
+	Pin, Keep []bool
+	// Method is "disabled", "greedy", "ilp-incumbent" or "ilp-optimal".
+	Method string
+	// Gap is the ILP's relative optimality gap on a deadline hit (see
+	// Solution.Gap); Nodes its branch-and-bound node count.
+	Gap   float64
+	Nodes int
+}
+
 // Optimize solves the FAST fusion problem for the given regions and GM
 // capacity (bytes).
 func Optimize(regions []RegionCost, capacity int64, opts Options) Solution {
@@ -175,10 +201,9 @@ func Optimize(regions []RegionCost, capacity int64, opts Options) Solution {
 // UsableEdges). usable is read, never written, so one slice may be
 // shared by concurrent solves over the same region structure.
 func OptimizePlanned(regions []RegionCost, usable []bool, capacity int64, opts Options) Solution {
-	pin, keep, method := SolvePlanned(regions, usable, capacity, opts)
 	// SolvePlanned hands over freshly allocated assignment slices, so the
 	// solution adopts them instead of copying.
-	return resolveOwned(regions, capacity, pin, keep, method)
+	return resolveOwned(regions, capacity, SolvePlanned(regions, usable, capacity, opts))
 }
 
 // SolvePlanned computes just the placement assignment — which regions pin
@@ -186,50 +211,53 @@ func OptimizePlanned(regions []RegionCost, usable []bool, capacity int64, opts O
 // per-region time/peak roll-up. The assignment is the expensive,
 // design-dependent part of the fusion stage (greedy selection, optional
 // ILP); callers that memoize it across evaluations reconstruct full
-// Solutions with ResolvePlanned. Method is "disabled", "greedy",
-// "ilp-incumbent" or "ilp-optimal".
-func SolvePlanned(regions []RegionCost, usable []bool, capacity int64, opts Options) (pin, keep []bool, method string) {
+// Solutions with ResolvePlanned.
+func SolvePlanned(regions []RegionCost, usable []bool, capacity int64, opts Options) Assignment {
 	n := len(regions)
 	if opts.Disable || n == 0 || capacity <= 0 {
-		return make([]bool, n), make([]bool, n), "disabled"
+		return Assignment{Pin: make([]bool, n), Keep: make([]bool, n), Method: "disabled"}
 	}
 	normalizeResident(regions)
-	pin, keep = greedy(regions, usable, capacity)
-	method = "greedy"
+	pin, keep := greedy(regions, usable, capacity)
+	asn := Assignment{Pin: pin, Keep: keep, Method: "greedy"}
 	if !opts.GreedyOnly {
 		deadline := opts.Deadline
 		if deadline == 0 {
 			deadline = 2 * time.Second
 		}
-		if p2, k2, m, ok := solveILP(regions, usable, capacity, pin, keep, deadline); ok {
-			pin, keep = p2, k2
-			method = m
+		if ilpAsn, ok := solveILP(regions, usable, capacity, pin, keep, deadline, opts.DenseILP); ok {
+			asn = ilpAsn
 		}
 	}
-	return pin, keep, method
+	return asn
 }
 
 // ResolvePlanned reconstructs the full Solution for a known assignment
 // (as returned by SolvePlanned, possibly from a cache): per-region
 // post-fusion times, total, and peak GM usage, with the same defensive
-// capacity repair as OptimizePlanned. pin/keep are copied, never
-// retained, so a memoized assignment can be shared read-only across
-// concurrent callers. ResolvePlanned(r, c, SolvePlanned(r, u, c, o))
-// ≡ OptimizePlanned(r, u, c, o).
-func ResolvePlanned(regions []RegionCost, capacity int64, pin, keep []bool, method string) Solution {
-	return resolveOwned(regions, capacity,
-		append([]bool(nil), pin...), append([]bool(nil), keep...), method)
+// capacity repair as OptimizePlanned. The assignment slices are copied,
+// never retained, so a memoized Assignment can be shared read-only
+// across concurrent callers. ResolvePlanned(r, c, SolvePlanned(r, u,
+// c, o)) ≡ OptimizePlanned(r, u, c, o).
+func ResolvePlanned(regions []RegionCost, capacity int64, asn Assignment) Solution {
+	cp := asn
+	cp.Pin = append([]bool(nil), asn.Pin...)
+	cp.Keep = append([]bool(nil), asn.Keep...)
+	return resolveOwned(regions, capacity, cp)
 }
 
-// resolveOwned is ResolvePlanned taking ownership of pin/keep.
-func resolveOwned(regions []RegionCost, capacity int64, pin, keep []bool, method string) Solution {
+// resolveOwned is ResolvePlanned taking ownership of the assignment
+// slices.
+func resolveOwned(regions []RegionCost, capacity int64, asn Assignment) Solution {
 	sol := Solution{
-		PinWeight:  pin,
-		EdgeOnChip: keep,
+		PinWeight:  asn.Pin,
+		EdgeOnChip: asn.Keep,
 		Times:      make([]float64, len(regions)),
-		Method:     method,
+		Method:     asn.Method,
+		Gap:        asn.Gap,
+		Nodes:      asn.Nodes,
 	}
-	if method == "disabled" {
+	if asn.Method == "disabled" {
 		for i, r := range regions {
 			sol.Times[i] = r.TMax
 			sol.Total += r.TMax

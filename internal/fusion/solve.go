@@ -261,11 +261,11 @@ func resetI64(s *[]int64, n int) []int64 {
 // the optimal objective are unchanged, only tie-breaking among equally
 // optimal assignments may differ from the unreduced formulation.
 func solveILP(regions []RegionCost, usable []bool, capacity int64,
-	warmPin, warmKeep []bool, deadline time.Duration) (pin, keep []bool, method string, ok bool) {
+	warmPin, warmKeep []bool, deadline time.Duration, dense bool) (Assignment, bool) {
 
 	n := len(regions)
 	if n == 0 {
-		return nil, nil, "", false
+		return Assignment{}, false
 	}
 	// Live binary variables, reduced-index maps.
 	wIdx := make([]int, n)
@@ -286,7 +286,7 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 		}
 	}
 	if vars == 0 {
-		return nil, nil, "", false
+		return Assignment{}, false
 	}
 	// T'_i stays a variable only where a live binary can lower it.
 	tIdx := make([]int, n)
@@ -396,19 +396,25 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 	res, err := ilp.Solve(ilp.Problem{C: c, A: a, B: b, U: u, Binary: bin}, ilp.Options{
 		Deadline:  time.Now().Add(deadline),
 		WarmStart: warm,
+		Dense:     dense,
 	})
 	if err != nil || !res.Feasible {
-		return nil, nil, "", false
+		return Assignment{}, false
 	}
-	pin = make([]bool, n)
-	keep = make([]bool, n)
+	asn := Assignment{
+		Pin:    make([]bool, n),
+		Keep:   make([]bool, n),
+		Method: "ilp-incumbent",
+		Nodes:  res.Nodes,
+	}
 	for i := 0; i < n; i++ {
-		pin[i] = wIdx[i] >= 0 && res.X[wIdx[i]] > 0.5
-		keep[i] = eIdx[i] >= 0 && res.X[eIdx[i]] > 0.5
+		asn.Pin[i] = wIdx[i] >= 0 && res.X[wIdx[i]] > 0.5
+		asn.Keep[i] = eIdx[i] >= 0 && res.X[eIdx[i]] > 0.5
 	}
-	method = "ilp-incumbent"
 	if res.Optimal {
-		method = "ilp-optimal"
+		asn.Method = "ilp-optimal"
+	} else {
+		asn.Gap = res.Gap
 	}
-	return pin, keep, method, true
+	return asn, true
 }

@@ -1,0 +1,231 @@
+package ilp
+
+import "math"
+
+// Basis factorization for the revised simplex: a dense LU of a
+// reference basis plus a list of product-form (eta) rank-one updates.
+// Each simplex pivot appends one eta instead of re-eliminating the
+// whole tableau; the LU is recomputed only at refactorization points
+// (eta list too long, basis installed from a branch-and-bound node, or
+// numerical drift).
+//
+// FTRAN solves B x = v (apply LU, then etas in creation order); BTRAN
+// solves Bᵀ y = v (apply eta transposes in reverse, then the LU
+// transpose). The basis dimension m counts constraint rows only —
+// variable upper bounds live in the bound arrays, never as rows — so
+// for the fusion instances m is a fraction of the dense solver's
+// tableau height.
+
+const (
+	// maxEtas bounds the product-form update list before the basis is
+	// refactorized from scratch. Applying an eta costs O(m) against the
+	// O(m²) triangular solves of the base LU, so a long list stays cheap;
+	// the bound exists to limit accumulated numerical drift (and the
+	// FTRAN/BTRAN cross-check forces an early refactorization when drift
+	// shows up sooner).
+	maxEtas = 192
+	// luPivTol is the smallest acceptable LU pivot magnitude.
+	luPivTol = 1e-11
+	// etaPivTol is the smallest acceptable eta (simplex pivot) magnitude.
+	etaPivTol = 1e-9
+)
+
+// eta is one product-form update: basis row r was replaced by a column
+// whose FTRAN'd image was w (with pivot w[r]).
+type eta struct {
+	r   int32
+	piv float64
+	w   []float64
+}
+
+// factor is the LU + eta representation of the current basis inverse.
+type factor struct {
+	m    int
+	lu   []float64 // m×m row-major; unit-L strictly below, U on/above
+	ipiv []int32   // LAPACK-style row swaps
+	etas []eta
+	free [][]float64 // recycled eta buffers
+}
+
+func (f *factor) reset(m int) {
+	f.m = m
+	if cap(f.lu) < m*m {
+		f.lu = make([]float64, m*m)
+	}
+	f.lu = f.lu[:m*m]
+	if cap(f.ipiv) < m {
+		f.ipiv = make([]int32, m)
+	}
+	f.ipiv = f.ipiv[:m]
+	f.dropEtas()
+}
+
+func (f *factor) dropEtas() {
+	for i := range f.etas {
+		f.free = append(f.free, f.etas[i].w)
+		f.etas[i].w = nil
+	}
+	f.etas = f.etas[:0]
+}
+
+func (f *factor) etaBuf() []float64 {
+	if n := len(f.free); n > 0 {
+		w := f.free[n-1]
+		f.free = f.free[:n-1]
+		if cap(w) >= f.m {
+			return w[:f.m]
+		}
+	}
+	return make([]float64, f.m)
+}
+
+// factorize builds the LU of the basis whose columns are the
+// full-system columns basis[0..m) of c. Returns false on a (numerically)
+// singular basis.
+func (f *factor) factorize(c *csc, basis []int32) bool {
+	m := len(basis)
+	f.reset(m)
+	lu := f.lu
+	for i := range lu {
+		lu[i] = 0
+	}
+	// Column k of the basis matrix lands in lu[:, k].
+	for k, j := range basis {
+		if int(j) < c.n {
+			for p := c.ptr[j]; p < c.ptr[j+1]; p++ {
+				lu[int(c.row[p])*m+k] = c.val[p]
+			}
+		} else {
+			lu[(int(j)-c.n)*m+k] = 1
+		}
+	}
+	for k := 0; k < m; k++ {
+		// Partial pivoting.
+		p, best := k, math.Abs(lu[k*m+k])
+		for i := k + 1; i < m; i++ {
+			if a := math.Abs(lu[i*m+k]); a > best {
+				p, best = i, a
+			}
+		}
+		if best < luPivTol {
+			return false
+		}
+		f.ipiv[k] = int32(p)
+		if p != k {
+			rk, rp := lu[k*m:k*m+m], lu[p*m:p*m+m]
+			for j := 0; j < m; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		inv := 1 / lu[k*m+k]
+		for i := k + 1; i < m; i++ {
+			l := lu[i*m+k] * inv
+			if l == 0 {
+				continue
+			}
+			lu[i*m+k] = l
+			ri, rk := lu[i*m:i*m+m], lu[k*m:k*m+m]
+			for j := k + 1; j < m; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return true
+}
+
+// ftran solves B x = v in place (v has length m).
+func (f *factor) ftran(v []float64) {
+	m := f.m
+	lu := f.lu
+	for k := 0; k < m; k++ {
+		if p := int(f.ipiv[k]); p != k {
+			v[k], v[p] = v[p], v[k]
+		}
+	}
+	// L (unit lower) forward substitution.
+	for i := 1; i < m; i++ {
+		ri := lu[i*m : i*m+i]
+		s := v[i]
+		for j, l := range ri {
+			if l != 0 {
+				s -= l * v[j]
+			}
+		}
+		v[i] = s
+	}
+	// U back substitution.
+	for i := m - 1; i >= 0; i-- {
+		ri := lu[i*m : i*m+m]
+		s := v[i]
+		for j := i + 1; j < m; j++ {
+			if u := ri[j]; u != 0 {
+				s -= u * v[j]
+			}
+		}
+		v[i] = s / ri[i]
+	}
+	// Product-form updates in creation order.
+	for k := range f.etas {
+		e := &f.etas[k]
+		t := v[e.r] / e.piv
+		if t != 0 {
+			for i, wi := range e.w {
+				if wi != 0 {
+					v[i] -= wi * t
+				}
+			}
+		}
+		v[e.r] = t
+	}
+}
+
+// btran solves Bᵀ y = v in place (v has length m).
+func (f *factor) btran(v []float64) {
+	m := f.m
+	// Eta transposes in reverse order.
+	for k := len(f.etas) - 1; k >= 0; k-- {
+		e := &f.etas[k]
+		var s float64
+		for i, wi := range e.w {
+			if wi != 0 {
+				s += wi * v[i]
+			}
+		}
+		// s includes the pivot term piv·v[r]; remove it.
+		v[e.r] = (v[e.r] - (s - e.piv*v[e.r])) / e.piv
+	}
+	lu := f.lu
+	// Uᵀ forward substitution.
+	for i := 0; i < m; i++ {
+		s := v[i]
+		for j := 0; j < i; j++ {
+			if u := lu[j*m+i]; u != 0 {
+				s -= u * v[j]
+			}
+		}
+		v[i] = s / lu[i*m+i]
+	}
+	// Lᵀ (unit) back substitution.
+	for i := m - 2; i >= 0; i-- {
+		s := v[i]
+		for j := i + 1; j < m; j++ {
+			if l := lu[j*m+i]; l != 0 {
+				s -= l * v[j]
+			}
+		}
+		v[i] = s
+	}
+	for k := m - 1; k >= 0; k-- {
+		if p := int(f.ipiv[k]); p != k {
+			v[k], v[p] = v[p], v[k]
+		}
+	}
+}
+
+// update appends the product-form eta for a pivot that replaced basis
+// row r with a column whose FTRAN'd image is w. w is copied.
+func (f *factor) update(r int, w []float64) {
+	buf := f.etaBuf()
+	copy(buf, w)
+	f.etas = append(f.etas, eta{r: int32(r), piv: w[r], w: buf})
+}

@@ -3,6 +3,7 @@ package ilp
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -27,149 +28,394 @@ type Result struct {
 	Optimal bool
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// BestBound is the proven lower bound on the optimal objective at
+	// exit; equal to Objective when Optimal. The dense reference solver
+	// tracks no global bound and reports -inf on early exit.
+	BestBound float64
+	// Gap is the relative optimality gap (Objective − BestBound) /
+	// max(1, |Objective|): zero when optimality was proven, +inf when no
+	// usable bound survives an early exit.
+	Gap float64
 }
 
 // Options configures Solve.
 type Options struct {
 	// Deadline bounds the solve; zero means no limit. On expiry the best
-	// incumbent is returned with Optimal=false (the SCIP-timeout contract
-	// from §6.1).
+	// incumbent is returned with Optimal=false and the optimality gap
+	// filled in (the SCIP-timeout contract from §6.1).
 	Deadline time.Time
 	// MaxSimplexIters caps each LP solve (default 20000).
 	MaxSimplexIters int
 	// WarmStart optionally seeds the incumbent with a known integer-
-	// feasible point.
+	// feasible point (the fusion pass hands in its greedy solution, so
+	// branch-and-bound starts with a bound instead of from scratch).
 	WarmStart []float64
+	// Dense routes the solve through the frozen dense-tableau reference
+	// solver instead of the sparse revised-simplex core. Kept for
+	// differential tests, benchmarks and as an escape hatch; the sparse
+	// path also falls back to it on unrecoverable numerical failure.
+	Dense bool
 }
 
-// Solve runs branch-and-bound with LP-relaxation bounds.
+// Solve runs branch-and-bound with LP-relaxation bounds: best-first
+// with depth-first plunging, dual-simplex warm starts from the parent
+// basis, and pseudo-cost/most-fractional branching over the sparse
+// revised-simplex core.
 func Solve(p Problem, o Options) (Result, error) {
 	if err := validate(p.C, p.A, p.B); err != nil {
 		return Result{}, err
 	}
+	if o.Dense {
+		return solveDense(p, o)
+	}
+	res, ok := solveSparse(p, o)
+	if ok {
+		return res, nil
+	}
+	// Unrecoverable numerical failure in the sparse path (singular
+	// refactorization or a drifting pivot that a fresh LU cannot fix):
+	// the dense tableau solver is slower but assumption-free. Any
+	// incumbent the sparse search already found seeds the dense solve so
+	// an improvement over the caller's warm start is never discarded.
+	if res.Feasible {
+		o.WarmStart = res.X
+	}
+	return solveDense(p, o)
+}
+
+// statePool recycles the revised-simplex working state (basis, LU
+// factors, pricing buffers) across solves; the parallel full-ILP
+// reporting paths run many instances concurrently and per-instance
+// allocation of m×m factor storage would dominate.
+var statePool = sync.Pool{New: func() any { return new(lpState) }}
+
+// bbNode is one open branch-and-bound subproblem.
+type bbNode struct {
+	// bound is the parent's LP objective: a valid lower bound on every
+	// integer point under this node.
+	bound float64
+	seq   int
+	// fixVar/fixVal is the path of binary fixings from the root.
+	fixVar []int32
+	fixVal []int8
+	// basis/atUp snapshot the parent's optimal basis for the dual warm
+	// start; nil basis means start from the all-slack basis.
+	basis []int32
+	atUp  []uint64
+	// branch bookkeeping for pseudo-cost updates.
+	branchVar  int
+	branchFrac float64
+	branchUp   bool
+	parentObj  float64
+}
+
+// nodeHeap is a best-first min-heap on (bound, depth desc, seq). The
+// depth tie-break matters on flat bound landscapes (many fusion
+// instances have near-identical LP bounds across subtrees): among
+// equal bounds the deepest — most recently branched — node wins, so
+// the search degrades to depth-first plunging instead of a
+// breadth-first frontier explosion, while genuinely better bounds
+// still jump the queue. seq keeps the order deterministic.
+type nodeHeap []*bbNode
+
+func (h nodeHeap) less(a, b int) bool {
+	if h[a].bound != h[b].bound {
+		return h[a].bound < h[b].bound
+	}
+	if da, db := len(h[a].fixVar), len(h[b].fixVar); da != db {
+		return da > db
+	}
+	return h[a].seq > h[b].seq
+}
+
+func (h *nodeHeap) push(nd *bbNode) {
+	*h = append(*h, nd)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() *bbNode {
+	old := *h
+	nd := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = nil
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.less(l, best) {
+			best = l
+		}
+		if r < last && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return nd
+		}
+		(*h)[i], (*h)[best] = (*h)[best], (*h)[i]
+		i = best
+	}
+}
+
+// solveSparse is the sparse branch-and-bound; ok=false requests the
+// dense fallback.
+func solveSparse(p Problem, o Options) (Result, bool) {
 	n := len(p.C)
 	maxIter := o.MaxSimplexIters
 	if maxIter == 0 {
 		maxIter = 20000
 	}
+	ls := statePool.Get().(*lpState)
+	defer statePool.Put(ls)
+	ls.init(newCSC(p.A, n), p.C, p.B, p.U, p.Binary)
 
-	// Materialize upper-bound rows (x ≤ u) once; branching appends
-	// variable fixings as extra rows.
-	baseA := make([][]float64, 0, len(p.A)+n)
-	baseB := make([]float64, 0, len(p.B)+n)
-	baseA = append(baseA, p.A...)
-	baseB = append(baseB, p.B...)
-	for i := 0; i < n; i++ {
-		u := math.Inf(1)
-		if p.U != nil {
-			u = p.U[i]
-		} else if p.Binary != nil && p.Binary[i] {
-			u = 1
-		}
-		if !math.IsInf(u, 1) {
-			row := make([]float64, n)
-			row[i] = 1
-			baseA = append(baseA, row)
-			baseB = append(baseB, u)
-		}
-	}
-
-	res := Result{Feasible: false, Objective: math.Inf(1)}
+	res := Result{Feasible: false, Objective: math.Inf(1), BestBound: math.Inf(-1)}
 	if o.WarmStart != nil && integerFeasible(p, o.WarmStart) {
 		res.Feasible = true
 		res.Objective = dot(p.C, o.WarmStart)
 		res.X = append([]float64(nil), o.WarmStart...)
 	}
-
 	expired := func() bool {
 		return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
 	}
 
-	// node fixes a subset of binary variables.
-	type node struct {
-		fixVar []int
-		fixVal []float64
+	// Pseudo-costs: mean objective degradation per unit of fraction
+	// rounded away, kept per binary and per direction.
+	var pcDn, pcUp []float64
+	var cntDn, cntUp []int32
+	if p.Binary != nil {
+		pcDn = make([]float64, n)
+		pcUp = make([]float64, n)
+		cntDn = make([]int32, n)
+		cntUp = make([]int32, n)
 	}
-	stack := []node{{}}
-	provedOptimal := true
 
-	for len(stack) > 0 {
+	var heap nodeHeap
+	seq := 0
+	heap.push(&bbNode{bound: math.Inf(-1), branchVar: -1})
+	// dive, when non-nil, is a child whose bounds and warm basis are
+	// already installed in ls (depth-first plunging): it skips the pop +
+	// reinstall entirely, so consecutive nodes share LU factors.
+	var dive *bbNode
+	provedOptimal := true
+	// openBound folds the bounds of nodes abandoned on early exit so
+	// BestBound stays valid.
+	openBound := math.Inf(1)
+
+	for dive != nil || len(heap) > 0 {
 		if expired() {
 			provedOptimal = false
 			break
 		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+		var nd *bbNode
+		if dive != nil {
+			nd, dive = dive, nil
+		} else {
+			nd = heap.pop()
+			if res.Feasible && nd.bound >= res.Objective-1e-9 {
+				continue // cannot beat the incumbent
+			}
+			// Reinstall this subproblem: base bounds + path fixings,
+			// parent basis (or the all-slack basis when the snapshot
+			// fails to factorize).
+			ls.resetBounds()
+			for k, v := range nd.fixVar {
+				ls.fixBinary(int(v), float64(nd.fixVal[k]))
+			}
+			if nd.basis == nil || !ls.installBasis(nd.basis, nd.atUp) {
+				ls.installSlackBasis()
+			}
+			ls.computeXB()
+			ls.computeDuals()
+		}
 		res.Nodes++
 
-		// Build this node's LP: base rows + fixings (x=v as two rows).
-		a := baseA
-		b := baseB
-		if len(nd.fixVar) > 0 {
-			a = append([][]float64(nil), baseA...)
-			b = append([]float64(nil), baseB...)
-			for k, v := range nd.fixVar {
-				lo := make([]float64, n)
-				hi := make([]float64, n)
-				lo[v] = -1
-				hi[v] = 1
-				a = append(a, hi, lo)
-				b = append(b, nd.fixVal[k], -nd.fixVal[k])
-			}
-		}
-		lp := simplexDeadline(p.C, a, b, maxIter, o.Deadline)
-		if !lp.feasible {
-			continue
-		}
-		if lp.unbounded {
-			// Unbounded relaxation with binaries still bounded: only
-			// continuous directions can be unbounded, so the MILP is too.
+		switch ls.dualSimplex(maxIter, o.Deadline) {
+		case lpDeadline:
 			provedOptimal = false
+			if nd.bound < openBound {
+				openBound = nd.bound
+			}
+			// Abandon the search; the incumbent (if any) is the answer.
+			goto done
+		case lpFail:
+			return res, false
+		case lpInfeasible:
 			continue
 		}
-		if res.Feasible && lp.objective >= res.Objective-1e-9 {
-			continue // bound: cannot beat incumbent
-		}
-		// Find the most fractional binary.
-		branch := -1
-		worst := 1e-6
-		for i := 0; i < n; i++ {
-			if p.Binary != nil && p.Binary[i] {
-				f := math.Abs(lp.x[i] - math.Round(lp.x[i]))
-				if f > worst {
-					worst, branch = f, i
+		{
+			obj := ls.extract()
+			if ls.hitsArtificialBound() {
+				// The relaxation is unbounded below through a continuous
+				// direction; no finite certificate exists down this path.
+				provedOptimal = false
+				continue
+			}
+			if nd.branchVar >= 0 && pcDn != nil {
+				// Pseudo-cost update: how much the LP bound degraded per
+				// unit of fraction rounded away at the parent's branching.
+				if deg := obj - nd.parentObj; deg > 0 && !math.IsInf(nd.parentObj, -1) {
+					if nd.branchUp {
+						f := 1 - nd.branchFrac
+						pcUp[nd.branchVar] += (deg/f - pcUp[nd.branchVar]) / float64(cntUp[nd.branchVar]+1)
+						cntUp[nd.branchVar]++
+					} else {
+						f := nd.branchFrac
+						pcDn[nd.branchVar] += (deg/f - pcDn[nd.branchVar]) / float64(cntDn[nd.branchVar]+1)
+						cntDn[nd.branchVar]++
+					}
 				}
 			}
-		}
-		if branch < 0 {
-			// Integer feasible (round off tiny fractional noise).
-			x := append([]float64(nil), lp.x...)
-			for i := range x {
-				if p.Binary != nil && p.Binary[i] {
-					x[i] = math.Round(x[i])
+			if res.Feasible && obj >= res.Objective-1e-9 {
+				continue // bound: cannot beat incumbent
+			}
+			branch := selectBranch(ls.x, p.Binary, pcDn, pcUp, cntDn, cntUp)
+			if branch < 0 {
+				// Integer feasible (round off tiny fractional noise).
+				x := append([]float64(nil), ls.x[:n]...)
+				for i := range x {
+					if p.Binary != nil && p.Binary[i] {
+						x[i] = math.Round(x[i])
+					}
 				}
+				intObj := dot(p.C, x)
+				if !res.Feasible || intObj < res.Objective {
+					res.Feasible = true
+					res.Objective = intObj
+					res.X = x
+				}
+				continue
 			}
-			obj := dot(p.C, x)
-			if !res.Feasible || obj < res.Objective {
-				res.Feasible = true
-				res.Objective = obj
-				res.X = x
+			frac := ls.x[branch] - math.Floor(ls.x[branch])
+			near := math.Round(ls.x[branch])
+			far := 1 - near
+			seq++
+			heap.push(&bbNode{
+				bound:     obj,
+				seq:       seq,
+				fixVar:    append(append([]int32(nil), nd.fixVar...), int32(branch)),
+				fixVal:    append(append([]int8(nil), nd.fixVal...), int8(far)),
+				basis:     append([]int32(nil), ls.basis...),
+				atUp:      ls.snapshotAtUp(),
+				branchVar: branch, branchFrac: frac, branchUp: far == 1,
+				parentObj: obj,
+			})
+			// Plunge into the nearer rounding with the current basis and
+			// factors still warm: only the branched variable's bounds
+			// change, and the parent optimum stays dual feasible.
+			ls.fixBinary(branch, near)
+			dive = &bbNode{
+				bound:     obj,
+				fixVar:    append(append([]int32(nil), nd.fixVar...), int32(branch)),
+				fixVal:    append(append([]int8(nil), nd.fixVal...), int8(near)),
+				branchVar: branch, branchFrac: frac, branchUp: near == 1,
+				parentObj: obj,
 			}
-			continue
 		}
-		// Depth-first: explore the rounding nearer the LP value first
-		// (pushed last).
-		near := math.Round(lp.x[branch])
-		far := 1 - near
-		stack = append(stack,
-			node{fixVar: append(append([]int(nil), nd.fixVar...), branch),
-				fixVal: append(append([]float64(nil), nd.fixVal...), far)},
-			node{fixVar: append(append([]int(nil), nd.fixVar...), branch),
-				fixVal: append(append([]float64(nil), nd.fixVal...), near)},
-		)
 	}
-	res.Optimal = res.Feasible && provedOptimal && len(stack) == 0
-	return res, nil
+done:
+	if dive != nil && dive.bound < openBound {
+		openBound = dive.bound
+	}
+	for _, nd := range heap {
+		if nd.bound < openBound {
+			openBound = nd.bound
+		}
+	}
+	res.Optimal = res.Feasible && provedOptimal && len(heap) == 0 && dive == nil
+	if res.Optimal {
+		res.BestBound = res.Objective
+	} else if !math.IsInf(openBound, 1) {
+		res.BestBound = openBound
+		if res.Feasible {
+			res.Gap = (res.Objective - res.BestBound) / math.Max(1, math.Abs(res.Objective))
+			if res.Gap < 0 {
+				res.Gap = 0
+			}
+		}
+	} else if res.Feasible && !provedOptimal {
+		res.Gap = math.Inf(1)
+	}
+	return res, true
+}
+
+// selectBranch picks the branching variable among fractional binaries:
+// pseudo-cost product scoring once both directions of every fractional
+// candidate have been observed, most-fractional until then (which is
+// also what initializes the pseudo-costs).
+func selectBranch(x []float64, binary []bool, pcDn, pcUp []float64, cntDn, cntUp []int32) int {
+	const fracEps = 1e-6
+	branch := -1
+	worst := fracEps
+	reliable := true
+	for i := range x {
+		if binary == nil || !binary[i] {
+			continue
+		}
+		f := math.Abs(x[i] - math.Round(x[i]))
+		if f <= fracEps {
+			continue
+		}
+		if cntDn[i] == 0 || cntUp[i] == 0 {
+			reliable = false
+		}
+		if f > worst {
+			worst, branch = f, i
+		}
+	}
+	if branch < 0 || !reliable {
+		return branch
+	}
+	best := -1.0
+	for i := range x {
+		if binary == nil || !binary[i] {
+			continue
+		}
+		fd := x[i] - math.Floor(x[i])
+		if fd <= fracEps || fd >= 1-fracEps {
+			continue
+		}
+		score := math.Max(fd*pcDn[i], 1e-12) * math.Max((1-fd)*pcUp[i], 1e-12)
+		if score > best {
+			best, branch = score, i
+		}
+	}
+	return branch
+}
+
+// resetBounds restores every structural column's base bounds (erasing
+// branch-and-bound fixings).
+func (s *lpState) resetBounds() {
+	for j := 0; j < s.n; j++ {
+		s.lo[j] = 0
+		s.up[j] = s.baseUp[j]
+	}
+}
+
+// fixBinary pins structural column j to v.
+func (s *lpState) fixBinary(j int, v float64) {
+	s.lo[j] = v
+	s.up[j] = v
+}
+
+// snapshotAtUp packs the nonbasic at-upper flags into a bitset.
+func (s *lpState) snapshotAtUp() []uint64 {
+	out := make([]uint64, (s.N+63)/64)
+	for j := 0; j < s.N; j++ {
+		if s.pos[j] < 0 && s.atUp[j] {
+			out[j>>6] |= 1 << (j & 63)
+		}
+	}
+	return out
 }
 
 func dot(a, b []float64) float64 {

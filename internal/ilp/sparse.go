@@ -1,0 +1,80 @@
+package ilp
+
+// Sparse problem storage for the revised simplex.
+//
+// The fusion ILPs this package exists for are extremely sparse: a T'
+// row touches its own shifted-time variable plus the handful of
+// binaries that can lower it, and a capacity row touches the pinnable
+// weights plus the edges spanning that region. The revised simplex
+// prices columns against a dense row multiplier, so the constraint
+// matrix is stored once in compressed-sparse-column form and every
+// per-iteration pass costs O(nnz) instead of O(rows × cols).
+
+// csc is the structural constraint matrix A (rows m × cols n) in
+// compressed-sparse-column form. Slack columns (the identity appended
+// by A·x + s = b) are implicit: variable j ≥ n is the slack of row
+// j - n.
+type csc struct {
+	m, n int
+	ptr  []int32 // len n+1: column j spans [ptr[j], ptr[j+1])
+	row  []int32
+	val  []float64
+}
+
+// newCSC compresses the dense row-major constraint matrix.
+func newCSC(a [][]float64, n int) *csc {
+	m := len(a)
+	nnz := 0
+	for _, r := range a {
+		for _, v := range r {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	c := &csc{
+		m:   m,
+		n:   n,
+		ptr: make([]int32, n+1),
+		row: make([]int32, 0, nnz),
+		val: make([]float64, 0, nnz),
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if v := a[i][j]; v != 0 {
+				c.row = append(c.row, int32(i))
+				c.val = append(c.val, v)
+			}
+		}
+		c.ptr[j+1] = int32(len(c.row))
+	}
+	return c
+}
+
+// scatter writes full-system column j (structural or slack) into the
+// dense buffer out (len m), zeroing it first.
+func (c *csc) scatter(j int, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	if j < c.n {
+		for k := c.ptr[j]; k < c.ptr[j+1]; k++ {
+			out[c.row[k]] = c.val[k]
+		}
+	} else {
+		out[j-c.n] = 1
+	}
+}
+
+// dot returns ρ · A_j for full-system column j against a dense row
+// multiplier ρ (len m).
+func (c *csc) dot(j int, rho []float64) float64 {
+	if j >= c.n {
+		return rho[j-c.n]
+	}
+	var s float64
+	for k := c.ptr[j]; k < c.ptr[j+1]; k++ {
+		s += rho[c.row[k]] * c.val[k]
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package sim
+
+// Full-ILP differential: the sparse revised-simplex fusion solve
+// against the frozen dense-tableau reference across the fusion
+// instances the reference suite's models × designs generate.
+//
+// The dense solver is only a sound oracle where it proves optimality
+// without hitting its per-LP iteration cap, so the matrix below is the
+// subset of reference instances where it does (measured; the excluded
+// instances — efficientnet-b5..b7 and the OCR recognizer on the TPU
+// datapaths among others — take the dense core minutes per solve or
+// trip its cap, which silently weakens its bounds). On two further
+// instances the dense tableau's absolute pivot tolerances can return a
+// provably suboptimal "optimal" on fusion-scaled coefficients (costs
+// ~1e-6 against byte columns ~1e8) — the ilp-level fusion-shaped suite
+// pins that against brute force — so an assignment mismatch here is
+// only a failure when the sparse total is *worse*.
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"fast/internal/arch"
+	"fast/internal/models"
+)
+
+func fullILPOptions(dense bool) Options {
+	o := FASTOptions()
+	o.Fusion.GreedyOnly = false
+	o.Fusion.Deadline = 60 * time.Second
+	o.Fusion.DenseILP = dense
+	return o
+}
+
+func TestSparseILPMatchesDenseOnReferenceInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-ILP differential sweep is not short")
+	}
+	all := planDesigns()
+	fastOnly := []*arch.Config{arch.FASTLarge(), arch.FASTSmall()}
+	suite := []struct {
+		model string
+		cfgs  []*arch.Config
+	}{
+		{"efficientnet-b0", all},
+		{"efficientnet-b1", all},
+		{"efficientnet-b2", all},
+		{"efficientnet-b3", all},
+		{"mobilenetv2", all},
+		{"resnet50", all},
+		{"bert-1024", fastOnly},
+		{"bert-128", []*arch.Config{arch.FASTLarge()}},
+		{"ocr-rpn", fastOnly},
+	}
+	for _, tc := range suite {
+		for _, cfg := range tc.cfgs {
+			label := tc.model + "/" + cfg.Name
+			g := models.MustBuild(tc.model, cfg.NativeBatch)
+			sparsePlan, err := Compile(g, fullILPOptions(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			densePlan, err := Compile(g, fullILPOptions(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := sparsePlan.Evaluate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			de, err := densePlan.Evaluate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.Fusion.Method != "ilp-optimal" {
+				t.Fatalf("%s: sparse method %s, want proven optimality", label, sp.Fusion.Method)
+			}
+			if de.Fusion.Method != "ilp-optimal" {
+				t.Fatalf("%s: dense method %s — instance no longer dense-sound, update the matrix", label, de.Fusion.Method)
+			}
+			same := true
+			for i := range sp.Fusion.PinWeight {
+				if sp.Fusion.PinWeight[i] != de.Fusion.PinWeight[i] ||
+					sp.Fusion.EdgeOnChip[i] != de.Fusion.EdgeOnChip[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				// Identical assignment ⇒ identical roll-up arithmetic ⇒ the
+				// whole timing pipeline must agree bit for bit.
+				if sp.Fusion.Total != de.Fusion.Total || sp.LatencySec != de.LatencySec || sp.QPS != de.QPS {
+					t.Errorf("%s: identical assignment, diverging results: total %x vs %x",
+						label, sp.Fusion.Total, de.Fusion.Total)
+				}
+				continue
+			}
+			// Diverging assignments: both claim optimality, so the sparse
+			// total may only be better (dense's absolute tolerances can lose
+			// exactness on this scaling; see the ilp brute-force suite).
+			if sp.Fusion.Total > de.Fusion.Total+1e-12*(1+math.Abs(de.Fusion.Total)) {
+				t.Errorf("%s: sparse total %.15g worse than dense %.15g", label, sp.Fusion.Total, de.Fusion.Total)
+			} else {
+				t.Logf("%s: assignments differ; sparse total %.15g ≤ dense %.15g (dense tolerance artifact)",
+					label, sp.Fusion.Total, de.Fusion.Total)
+			}
+		}
+	}
+}
+
+// TestParallelFullILPEvaluateRace hammers the new parallel full-ILP
+// paths on one shared plan: concurrent Evaluates with AutoSoftmax
+// (each spawning the concurrent softmax-variant goroutine, each variant
+// an exact ILP through the pooled revised-simplex state) across designs
+// that alternate between sharing and missing the fusion stage cache.
+// Run under -race in CI.
+func TestParallelFullILPEvaluateRace(t *testing.T) {
+	g := models.MustBuild("bert-128", arch.FASTLarge().NativeBatch)
+	opts := fullILPOptions(false)
+	opts.Fusion.Deadline = 5 * time.Second
+	plan, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]*arch.Config, 4)
+	for i := range cfgs {
+		c := arch.FASTLarge().Clone("race")
+		c.ClockGHz += float64(i) * 0.001 // distinct fusion cache keys
+		cfgs[i] = c
+	}
+	var wg sync.WaitGroup
+	results := make([]*Result, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r, err := plan.Evaluate(cfgs[w%len(cfgs)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = r
+		}(w)
+	}
+	wg.Wait()
+	for w, r := range results {
+		if r == nil {
+			continue
+		}
+		ref := results[w%len(cfgs)]
+		if ref != nil && (r.LatencySec != ref.LatencySec || r.Fusion.Total != ref.Fusion.Total) {
+			t.Errorf("worker %d diverged from worker %d on the same design", w, w%len(cfgs))
+		}
+	}
+}

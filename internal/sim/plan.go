@@ -136,7 +136,7 @@ type Plan struct {
 	// reads (see stages.go).
 	mapCache    stageCache[mapKey, []mapping.Mapping]
 	floorCache  stageCache[int64, []int64]
-	fusionCache stageCache[fusionKey, fusionAssignment]
+	fusionCache stageCache[fusionKey, fusion.Assignment]
 	powerCache  stageCache[powerKey, power.Breakdown]
 }
 
@@ -254,13 +254,32 @@ func (p *Plan) evaluateValidated(cfg *arch.Config) *Result {
 	mapped := p.mappedFor(cfg)
 	extras := p.floorFor(capacityBytes(cfg))
 	if p.opts.AutoSoftmax {
-		a := p.evaluate(cfg, vpu.ThreePass, mapped, extras)
+		var a, b *Result
 		if !p.hasSoftmax {
 			// No softmax op: the two-pass variant would produce the
 			// identical timeline, and the a/b tie resolves to a.
-			return a
+			return p.evaluate(cfg, vpu.ThreePass, mapped, extras)
 		}
-		b := p.evaluate(cfg, vpu.TwoPass, mapped, extras)
+		if p.opts.Fusion.GreedyOnly || p.opts.Fusion.Disable {
+			// Search-loop stack: the two variant evaluations are a few
+			// microseconds each, not worth a goroutine.
+			a = p.evaluate(cfg, vpu.ThreePass, mapped, extras)
+			b = p.evaluate(cfg, vpu.TwoPass, mapped, extras)
+		} else {
+			// Full-ILP stack: each variant's fusion stage is an exact
+			// branch-and-bound solve (they differ in vector times and DRAM
+			// extras, hence in their cost tables and cache keys), so the
+			// two instances run concurrently. Selection below is unchanged
+			// and order-independent, so the result is bit-identical to the
+			// serial path.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				b = p.evaluate(cfg, vpu.TwoPass, mapped, extras)
+			}()
+			a = p.evaluate(cfg, vpu.ThreePass, mapped, extras)
+			<-done
+		}
 		if !b.ScheduleFailed && (a.ScheduleFailed || b.LatencySec < a.LatencySec) {
 			return b
 		}

@@ -107,13 +107,6 @@ type fusionKey struct {
 	alg   uint8
 }
 
-// fusionAssignment is a memoized placement decision; the slices are
-// cache-owned and read-only (ResolvePlanned copies them).
-type fusionAssignment struct {
-	pin, keep []bool
-	method    string
-}
-
 const (
 	// stageShards spreads cache entries over independently locked shards
 	// so concurrent Evaluate calls rarely contend.
@@ -231,11 +224,10 @@ func (p *Plan) fusionFor(cfg *arch.Config, algIdx int, costs []fusion.RegionCost
 		alg:   uint8(algIdx),
 	}
 	h := mix(key.sub ^ uint64(key.cores)<<40 ^ uint64(key.mem)<<56 ^ uint64(key.alg)<<60)
-	asn := p.fusionCache.get(h, key, func() fusionAssignment {
-		pin, keep, method := fusion.SolvePlanned(costs, p.usable, cfg.GlobalBytes(), p.opts.Fusion)
-		return fusionAssignment{pin: pin, keep: keep, method: method}
+	asn := p.fusionCache.get(h, key, func() fusion.Assignment {
+		return fusion.SolvePlanned(costs, p.usable, cfg.GlobalBytes(), p.opts.Fusion)
 	})
-	return fusion.ResolvePlanned(costs, cfg.GlobalBytes(), asn.pin, asn.keep, asn.method)
+	return fusion.ResolvePlanned(costs, cfg.GlobalBytes(), asn)
 }
 
 // evalScratch pools the per-evaluate working memory that does not escape

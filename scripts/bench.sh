@@ -2,61 +2,88 @@
 # bench.sh — run the perf-trajectory benchmarks and emit BENCH_PR<N>.json.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR3.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_PR5.json in the repo root
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=10x scripts/bench.sh   # more iterations per benchmark
 #
 # The JSON records end-to-end search throughput (trials/sec at
 # parallelism 1 and 4 on BenchmarkSearchThroughput), the split-phase
 # simulator costs (ns/op and allocs/op for sim.Compile, the warm-cache
-# Plan.Evaluate, and the cold sweep-shaped Plan.EvaluateBatch), plus the
-# PR 2 baseline for the same benchmark so the trajectory is
-# self-describing. Override PR2_TRIALS_P1/PR2_TRIALS_P4 when re-baselining
-# on different hardware.
+# Plan.Evaluate, and the cold sweep-shaped Plan.EvaluateBatch), the
+# exact-ILP fusion solve (BenchmarkFullILPEvaluate: sparse revised
+# simplex vs the frozen dense tableau, with branch-and-bound node
+# counts), the fast-experiments table6 wall time at parallelism 1 vs 4
+# (the parallel full-ILP reporting fan-out), plus the PR 3 baseline for
+# the search benchmark so the trajectory is self-describing. Override
+# PR3_TRIALS_P1/PR3_TRIALS_P4 when re-baselining on different hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR3.json}
+OUT=${1:-BENCH_PR5.json}
 BENCHTIME=${BENCHTIME:-10x}
-# PR 2 numbers measured on the reference box (single-core Xeon 2.10GHz)
-# immediately before the factored/memoized evaluator landed (see
-# BENCH_PR2.json).
-PR2_TRIALS_P1=${PR2_TRIALS_P1:-4555}
-PR2_TRIALS_P4=${PR2_TRIALS_P4:-4810}
+# PR 3 numbers measured on the reference box (single-core Xeon 2.10GHz),
+# see BENCH_PR3.json.
+PR3_TRIALS_P1=${PR3_TRIALS_P1:-65874}
+PR3_TRIALS_P4=${PR3_TRIALS_P4:-68544}
 
 RAW=$(go test -run '^$' \
-	-bench 'BenchmarkSearchThroughput|^BenchmarkCompile$|^BenchmarkEvaluate$|^BenchmarkEvaluateBatch$' \
-	-benchtime "$BENCHTIME" .)
+	-bench 'BenchmarkSearchThroughput|^BenchmarkCompile$|^BenchmarkEvaluate$|^BenchmarkEvaluateBatch$|^BenchmarkFullILPEvaluate$' \
+	-benchtime "$BENCHTIME" -timeout 45m .)
 echo "$RAW"
+
+# Wall time for one full-ILP reporting table, serial vs fanned out.
+EXP_BIN=$(mktemp /tmp/fast-experiments.XXXXXX)
+trap 'rm -f "$EXP_BIN"' EXIT
+go build -o "$EXP_BIN" ./cmd/fast-experiments
+t0=$(date +%s.%N)
+"$EXP_BIN" -exp table6 -parallel 1 >/dev/null
+t1=$(date +%s.%N)
+"$EXP_BIN" -exp table6 -parallel 4 >/dev/null
+t2=$(date +%s.%N)
+EXP_P1=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
+EXP_P4=$(awk -v a="$t1" -v b="$t2" 'BEGIN { printf "%.2f", b - a }')
+echo "fast-experiments table6: ${EXP_P1}s at -parallel 1, ${EXP_P4}s at -parallel 4"
 
 echo "$RAW" | awk \
 	-v out="$OUT" -v bt="$BENCHTIME" \
-	-v p1base="$PR2_TRIALS_P1" -v p4base="$PR2_TRIALS_P4" '
+	-v p1base="$PR3_TRIALS_P1" -v p4base="$PR3_TRIALS_P4" \
+	-v exp1="$EXP_P1" -v exp4="$EXP_P4" '
 # Benchmark lines with ReportAllocs look like:
 #   Name  N  <ns> ns/op  [<metric> <unit>]  <B> B/op  <allocs> allocs/op
 function allocs(   i) { for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op") return $i; return "" }
+function metric(unit,   i) { for (i = 1; i <= NF; i++) if ($(i+1) == unit) return $i; return "" }
 /^BenchmarkSearchThroughput\/parallel-1/ { tp1 = $5 }
 /^BenchmarkSearchThroughput\/parallel-4/ { tp4 = $5 }
 /^BenchmarkCompile(-[0-9]+)?[ \t]/       { cns = $3; cal = allocs() }
 /^BenchmarkEvaluate(-[0-9]+)?[ \t]/      { ens = $3; eal = allocs() }
 /^BenchmarkEvaluateBatch(-[0-9]+)?[ \t]/ { bev = $5; bal = allocs() }
+/^BenchmarkFullILPEvaluate\/sparse/      { sns = $3; snodes = metric("nodes/op") }
+/^BenchmarkFullILPEvaluate\/dense/       { dns = $3; dnodes = metric("nodes/op") }
 /^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
 END {
-	if (tp1 == "" || tp4 == "" || cns == "" || ens == "" || bev == "") {
+	if (tp1 == "" || tp4 == "" || cns == "" || ens == "" || bev == "" || sns == "" || dns == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"
 		exit 1
 	}
 	printf "{\n" > out
-	printf "  \"pr\": 3,\n" >> out
+	printf "  \"pr\": 5,\n" >> out
 	printf "  \"benchmark\": \"BenchmarkSearchThroughput (efficientnet-b0, LCS, 64 trials)\",\n" >> out
 	printf "  \"benchtime\": \"%s\",\n", bt >> out
 	printf "  \"cpu\": \"%s\",\n", cpu >> out
 	printf "  \"trials_per_sec\": {\"parallel_1\": %s, \"parallel_4\": %s},\n", tp1, tp4 >> out
-	printf "  \"pr2_baseline_trials_per_sec\": {\"parallel_1\": %s, \"parallel_4\": %s},\n", p1base, p4base >> out
-	printf "  \"speedup_vs_pr2\": {\"parallel_1\": %.2f, \"parallel_4\": %.2f},\n", tp1 / p1base, tp4 / p4base >> out
+	printf "  \"pr3_baseline_trials_per_sec\": {\"parallel_1\": %s, \"parallel_4\": %s},\n", p1base, p4base >> out
+	printf "  \"speedup_vs_pr3\": {\"parallel_1\": %.2f, \"parallel_4\": %.2f},\n", tp1 / p1base, tp4 / p4base >> out
 	printf "  \"compile_ns_per_op\": %s,\n", cns >> out
 	printf "  \"evaluate_warm_ns_per_op\": %s,\n", ens >> out
 	printf "  \"evaluate_batch_cold_evals_per_sec\": %s,\n", bev >> out
+	printf "  \"full_ilp_evaluate\": {\n" >> out
+	printf "    \"benchmark\": \"BenchmarkFullILPEvaluate (ocr-rpn + resnet50 + bert-1024 on fast-small, fresh ILP per iteration)\",\n" >> out
+	printf "    \"sparse_ns_per_op\": %s,\n", sns >> out
+	printf "    \"dense_ns_per_op\": %s,\n", dns >> out
+	printf "    \"speedup_vs_dense\": %.2f,\n", dns / sns >> out
+	printf "    \"bb_nodes_per_op\": {\"sparse\": %s, \"dense\": %s}\n", snodes, dnodes >> out
+	printf "  },\n" >> out
+	printf "  \"fast_experiments_table6_wall_s\": {\"parallel_1\": %s, \"parallel_4\": %s, \"speedup\": %.2f},\n", exp1, exp4, exp1 / exp4 >> out
 	printf "  \"allocs_per_op\": {\"compile\": %s, \"evaluate_warm\": %s, \"evaluate_batch\": %s}\n", cal, eal, bal >> out
 	printf "}\n" >> out
 	printf "wrote %s\n", out

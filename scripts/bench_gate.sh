@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # bench_gate.sh — fail when BenchmarkSearchThroughput regresses more than
-# BENCH_GATE_TOLERANCE percent below a baseline.
+# BENCH_GATE_TOLERANCE percent below a baseline, or when the exact-ILP
+# evaluate path (BenchmarkFullILPEvaluate/sparse) slows down by more
+# than the same tolerance.
 #
 # Baseline resolution, most-preferred first:
 #   1. BENCH_GATE_BASELINE=<trials/s>     explicit floor
@@ -58,8 +60,31 @@ measure() {
 	echo "$best"
 }
 
+# measure_ilp <dir> <runs> → best (lowest) BenchmarkFullILPEvaluate/sparse
+# ns/op on this machine. Fails when the tree predates the benchmark.
+measure_ilp() {
+	local dir=$1 runs=$2 best="" out cur i
+	for i in $(seq 1 "$runs"); do
+		out=$(cd "$dir" && go test -run '^$' -bench 'BenchmarkFullILPEvaluate/sparse' -benchtime 3x -timeout 20m . 2>&1)
+		echo "$out" >&2
+		cur=$(echo "$out" | awk '/^BenchmarkFullILPEvaluate\/sparse/ { print $3 }')
+		if [ -z "$cur" ]; then
+			echo "bench_gate: run $i in $dir produced no full-ILP metric" >&2
+			return 1
+		fi
+		if [ -z "$best" ]; then
+			best=$cur
+		else
+			best=$(awk -v a="$best" -v b="$cur" 'BEGIN { print (b < a) ? b : a }')
+		fi
+	done
+	echo "$best"
+}
+
 baseline=${BENCH_GATE_BASELINE:-}
+ilp_baseline=${BENCH_GATE_ILP_BASELINE:-}
 source=explicit
+ilp_source=explicit
 if [ -z "$baseline" ] && [ -n "${BENCH_GATE_BASE_REF:-}" ]; then
 	if git rev-parse --verify --quiet "${BENCH_GATE_BASE_REF}^{commit}" >/dev/null; then
 		wt=$(mktemp -d)
@@ -73,6 +98,16 @@ if [ -z "$baseline" ] && [ -n "${BENCH_GATE_BASE_REF:-}" ]; then
 		else
 			baseline=""
 			echo "bench_gate: base ref benchmark failed, falling back to $BASELINE_JSON" >&2
+		fi
+		if [ -z "$ilp_baseline" ]; then
+			# Single run: the full-ILP benchmark is minutes-scale and far
+			# less scheduler-sensitive than the µs-scale search loop.
+			if ilp_baseline=$(measure_ilp "$wt" 1); then
+				ilp_source="ref $BENCH_GATE_BASE_REF (same machine)"
+			else
+				ilp_baseline=""
+				echo "bench_gate: base ref predates BenchmarkFullILPEvaluate, falling back to $BASELINE_JSON" >&2
+			fi
 		fi
 	else
 		echo "bench_gate: base ref $BENCH_GATE_BASE_REF not found, falling back to $BASELINE_JSON" >&2
@@ -91,6 +126,11 @@ if [ -z "$baseline" ]; then
 	fi
 fi
 
+if [ -z "$ilp_baseline" ] && [ -f "$BASELINE_JSON" ]; then
+	ilp_baseline=$(sed -n 's/.*"sparse_ns_per_op": \([0-9.]*\).*/\1/p' "$BASELINE_JSON")
+	ilp_source="$BASELINE_JSON (reference box)"
+fi
+
 best=$(measure . "$RUNS")
 
 awk -v best="$best" -v base="$baseline" -v tol="$TOLERANCE" -v src="$source" 'BEGIN {
@@ -100,5 +140,23 @@ awk -v best="$best" -v base="$baseline" -v tol="$TOLERANCE" -v src="$source" 'BE
 		printf "bench_gate: FAIL — BenchmarkSearchThroughput regressed more than %s%% vs the baseline\n", tol > "/dev/stderr"
 		exit 1
 	}
-	print "bench_gate: OK"
+	print "bench_gate: OK (search throughput)"
+}'
+
+# ---- exact-ILP evaluate gate (same >15% regression rule; ns/op, so
+# lower is better and the ceiling is baseline × (100+tol)% ) ----
+if [ -z "$ilp_baseline" ]; then
+	echo "bench_gate: no full-ILP baseline available (old JSON?) — skipping that gate" >&2
+	exit 0
+fi
+ilp_best=$(measure_ilp . 1)
+
+awk -v best="$ilp_best" -v base="$ilp_baseline" -v tol="$TOLERANCE" -v src="$ilp_source" 'BEGIN {
+	ceil = base * (100 + tol) / 100
+	printf "bench_gate: full-ILP evaluate %.0f ns/op, baseline %.0f from %s, ceiling %.0f (tolerance %s%%)\n", best, base, src, ceil, tol
+	if (best > ceil) {
+		printf "bench_gate: FAIL — BenchmarkFullILPEvaluate/sparse regressed more than %s%% vs the baseline\n", tol > "/dev/stderr"
+		exit 1
+	}
+	print "bench_gate: OK (full-ILP evaluate)"
 }'
