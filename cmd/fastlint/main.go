@@ -1,0 +1,130 @@
+// fastlint is the multichecker for the engine's custom static
+// analyzers (internal/analysis): maskcheck, detrange, nondetsource,
+// and poolescape — the compile-time proofs behind the stage-cache
+// soundness and determinism invariants.
+//
+// Standalone (the usual way, and what CI runs):
+//
+//	go run ./cmd/fastlint ./...
+//	go run ./cmd/fastlint -analyzers maskcheck,detrange ./internal/sim
+//
+// As a vet tool (unitchecker protocol; go vet drives one .cfg per
+// package):
+//
+//	go build -o /tmp/fastlint ./cmd/fastlint
+//	go vet -vettool=/tmp/fastlint ./...
+//
+// Exit status: 0 clean, 1 (standalone) / 2 (vet mode) when diagnostics
+// were reported, and nonzero on loader errors. Suppressions use
+// //fast:allow <analyzer> <reason> directives; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fast/internal/analysis"
+	"fast/internal/analysis/detrange"
+	"fast/internal/analysis/load"
+	"fast/internal/analysis/maskcheck"
+	"fast/internal/analysis/nondetsource"
+	"fast/internal/analysis/poolescape"
+)
+
+// all lists every analyzer in the suite.
+var all = []*analysis.Analyzer{
+	maskcheck.Analyzer,
+	detrange.Analyzer,
+	nondetsource.Analyzer,
+	poolescape.Analyzer,
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fastlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	version := fs.String("V", "", "print version (go vet protocol handshake)")
+	flagsQuery := fs.Bool("flags", false, "print the analyzer flags as JSON (go vet protocol)")
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (vet protocol compatible)")
+	dir := fs.String("C", ".", "directory to load packages from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		// The go command hashes this line to identify the tool build.
+		fmt.Fprintln(stdout, "fastlint version v1")
+		return 0
+	}
+	if *flagsQuery {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, "fastlint:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0], analyzers, *jsonOut, stdout, stderr)
+	}
+	return runStandalone(*dir, rest, analyzers, *jsonOut, stdout, stderr)
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return all, nil
+	}
+	var sel []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				sel = append(sel, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	return sel, nil
+}
+
+// runStandalone loads the matched module packages from source and runs
+// the suite over all of them.
+func runStandalone(dir string, patterns []string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	prog, err := load.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "fastlint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(prog, prog.Pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "fastlint:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(prog, diags, jsonOut, stdout)
+	return 1
+}
+
+func printDiags(prog *load.Program, diags []analysis.Diagnostic, jsonOut bool, w io.Writer) {
+	if jsonOut {
+		fmt.Fprintln(w, diagsJSON(prog, diags))
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

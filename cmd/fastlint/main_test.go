@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVersionHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("run -V=full = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "fastlint version") {
+		t.Errorf("version line = %q, want fastlint version prefix", out.String())
+	}
+}
+
+func TestFlagsQuery(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("run -flags = %d, stderr: %s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("flags query = %q, want []", out.String())
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "bogus", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("run -analyzers bogus = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown analyzer error", errb.String())
+	}
+}
+
+// TestTreeIsClean runs the full suite over the module — the same gate
+// CI enforces — so a determinism or mask regression fails go test too.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", root, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("fastlint ./... = %d\n%s%s", code, out.String(), errb.String())
+	}
+}

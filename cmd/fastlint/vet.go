@@ -1,0 +1,152 @@
+// Vet-tool mode: a minimal implementation of the cmd/vet unitchecker
+// protocol. The go command invokes the tool once per package with a
+// JSON .cfg file describing the unit; the tool analyzes the package,
+// writes an (empty — fastlint exports no facts) .vetx facts file, and
+// exits 2 when it found diagnostics.
+//
+// The interprocedural maskcheck pass needs function bodies for the
+// whole module, which gc export data does not carry, so vet mode
+// re-loads the module from source (rooted at the unit's module
+// directory) and analyzes the matching package. That costs a module
+// load per vet unit; `go run ./cmd/fastlint ./...` amortizes one load
+// over every package and is the preferred entry point.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fast/internal/analysis"
+	"fast/internal/analysis/load"
+)
+
+// vetConfig is the subset of the unitchecker config fastlint reads.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+func runVet(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "fastlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "fastlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// Facts file: fastlint exports none, but the go command expects the
+	// file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "fastlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	root, err := moduleRoot(cfg.Dir)
+	if err != nil {
+		// A package outside any module (or std internals vetted with
+		// -vettool): nothing for fastlint to say.
+		return 0
+	}
+	prog, err := load.Load(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "fastlint:", err)
+		return 2
+	}
+	pkg := prog.ByPath[cfg.ImportPath]
+	if pkg == nil {
+		return 0 // e.g. a test variant ("pkg [pkg.test]") — skip
+	}
+	diags, err := analysis.Run(prog, []*load.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "fastlint:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		fmt.Fprintln(stdout, diagsJSON(prog, diags))
+	} else {
+		printDiags(prog, diags, false, stderr)
+	}
+	return 2
+}
+
+// moduleRoot finds the module directory containing dir.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("no module for %s", dir)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// diagsJSON renders diagnostics in the vet JSON shape:
+// {"<pkg>": {"<analyzer>": [{"posn": ..., "message": ...}]}}.
+func diagsJSON(prog *load.Program, diags []analysis.Diagnostic) string {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byPkg := map[string]map[string][]jsonDiag{}
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		pkgPath := ""
+		for _, p := range prog.Pkgs {
+			for _, f := range p.Files {
+				if prog.Fset.File(f.Pos()).Name() == pos.Filename {
+					pkgPath = p.Path
+				}
+			}
+		}
+		if byPkg[pkgPath] == nil {
+			byPkg[pkgPath] = map[string][]jsonDiag{}
+		}
+		byPkg[pkgPath][d.Analyzer] = append(byPkg[pkgPath][d.Analyzer],
+			jsonDiag{Posn: pos.String(), Message: d.Message})
+	}
+	// Deterministic key order for stable output.
+	keys := make([]string, 0, len(byPkg))
+	for k := range byPkg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		inner, _ := json.Marshal(byPkg[k])
+		keyJSON, _ := json.Marshal(k)
+		sb.Write(keyJSON)
+		sb.WriteString(":")
+		sb.Write(inner)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"fast/internal/analysis/load"
+)
+
+// loadSrc typechecks one import-free source file into a load.Program,
+// so the directive machinery can be tested without touching the disk.
+func loadSrc(t *testing.T, src string) (*load.Program, *load.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &load.Package{Path: "p", Files: []*ast.File{f}, Types: tpkg, Info: info}
+	prog := &load.Program{
+		Fset:   fset,
+		Pkgs:   []*load.Package{pkg},
+		ByPath: map[string]*load.Package{"p": pkg},
+	}
+	return prog, pkg
+}
+
+// TestRunSuppression drives Run end to end: a toy analyzer that reports
+// every function declaration, filtered through good, unknown-name, and
+// reason-less //fast:allow directives.
+func TestRunSuppression(t *testing.T) {
+	prog, _ := loadSrc(t, `package p
+
+func a() {}
+
+//fast:allow toy intentional fixture
+func b() {}
+
+//fast:allow nosuch xyz
+func c() {}
+
+//fast:allow toy
+func d() {}
+`)
+	toy := &Analyzer{
+		Name: "toy",
+		Doc:  "reports every function declaration",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.Report(Diagnostic{Pos: fd.Pos(), Message: "func " + fd.Name.Name})
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := Run(prog, prog.Pkgs, []*Analyzer{toy})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	want := []string{
+		"toy: func a", // no allow
+		"directive: fast:allow needs a known analyzer name (maskcheck, detrange, nondetsource, poolescape)", // nosuch
+		"toy: func c", // unknown-name allow does not suppress
+		"directive: fast:allow toy needs a reason",
+		"toy: func d", // reason-less allow does not suppress
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Sorted by position: a before c before d.
+	for i := 1; i < len(diags); i++ {
+		if diags[i-1].Pos > diags[i].Pos {
+			t.Errorf("diagnostics not position-sorted at %d", i)
+		}
+	}
+}
+
+func TestParseStageDirective(t *testing.T) {
+	group := func(lines ...string) *ast.CommentGroup {
+		cg := &ast.CommentGroup{}
+		for _, l := range lines {
+			cg.List = append(cg.List, &ast.Comment{Text: l})
+		}
+		return cg
+	}
+	cases := []struct {
+		name    string
+		doc     *ast.CommentGroup
+		mask    string
+		fixed   []string
+		errPart string
+		none    bool
+	}{
+		{name: "nil doc", doc: nil, none: true},
+		{name: "no directive", doc: group("// just a comment"), none: true},
+		{name: "mask only", doc: group("// doc", "//fast:stage mask=gridParams"), mask: "gridParams"},
+		{name: "mask and fixed", doc: group("//fast:stage mask=m&^n fixed=cores,clock"), mask: "m&^n", fixed: []string{"cores", "clock"}},
+		{name: "unknown field", doc: group("//fast:stage cover=all"), errPart: `unknown field "cover=all"`},
+		{name: "missing mask", doc: group("//fast:stage fixed=cores"), errPart: "needs mask="},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := ParseStageDirective(tc.doc)
+			if tc.errPart != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.errPart) {
+					t.Fatalf("err = %v, want containing %q", err, tc.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("err = %v", err)
+			}
+			if tc.none {
+				if d != nil {
+					t.Fatalf("directive = %+v, want none", d)
+				}
+				return
+			}
+			if d == nil || d.MaskExpr != tc.mask {
+				t.Fatalf("directive = %+v, want mask %q", d, tc.mask)
+			}
+			if len(d.Fixed) != len(tc.fixed) {
+				t.Fatalf("fixed = %v, want %v", d.Fixed, tc.fixed)
+			}
+			for i := range tc.fixed {
+				if d.Fixed[i] != tc.fixed[i] {
+					t.Errorf("fixed[%d] = %q, want %q", i, d.Fixed[i], tc.fixed[i])
+				}
+			}
+		})
+	}
+}

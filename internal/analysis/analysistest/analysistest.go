@@ -1,0 +1,113 @@
+// Package analysistest runs fastlint analyzers over GOPATH-style
+// testdata packages and checks their diagnostics against `// want`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest
+// with only the standard library.
+//
+// Layout: <testdata>/src/<pkg>/*.go, loaded in the order given (list
+// dependency packages first). Each expectation is a comment on the
+// line the diagnostic is reported at:
+//
+//	m := map[string]int{} // no diagnostic
+//	for k := range m {    // want `map iteration order`
+//
+// The quoted text is a regular expression matched against the
+// diagnostic message; several quoted patterns in one comment expect
+// several diagnostics on that line. Lines carrying a //fast:allow
+// directive and no want comment assert the suppression path: the
+// analyzer must report nothing there.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"fast/internal/analysis"
+	"fast/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads the listed packages from testdata/src and checks a's
+// diagnostics (after //fast:allow filtering) against the // want
+// comments in their sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	prog, err := load.LoadDirs(root, pkgs...)
+	if err != nil {
+		t.Fatalf("load %v: %v", pkgs, err)
+	}
+	diags, err := analysis.Run(prog, prog.Pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		rx      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	want := map[string][]*expectation{} // "file:line" -> expectations
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := prog.Fset.Position(c.Pos())
+					text := c.Text
+					idx := indexWant(text)
+					if idx < 0 {
+						continue
+					}
+					for _, m := range wantRE.FindAllStringSubmatch(text[idx:], -1) {
+						raw := m[1]
+						if raw == "" {
+							raw = m[2]
+						}
+						rx, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+						}
+						key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+						want[key] = append(want[key], &expectation{rx: rx, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		var match *expectation
+		for _, e := range want[key] {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				match = e
+				break
+			}
+		}
+		if match == nil {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+			continue
+		}
+		match.matched = true
+	}
+	for key, exps := range want {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.raw)
+			}
+		}
+	}
+}
+
+// indexWant finds the start of a "// want" marker in a comment.
+func indexWant(text string) int {
+	for i := 0; i+6 <= len(text); i++ {
+		if text[i:i+6] == " want " || text[i:i+6] == "\twant " {
+			return i + 6
+		}
+	}
+	return -1
+}

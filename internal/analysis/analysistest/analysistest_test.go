@@ -1,0 +1,31 @@
+package analysistest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"fast/internal/analysis"
+)
+
+// toy reports every function whose name starts with "bad", so the
+// harness's want-matching and //fast:allow filtering can be checked
+// against a known fixture.
+var toy = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "reports functions named bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: "function named " + fd.Name.Name})
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestRunMatchesWants(t *testing.T) {
+	Run(t, "testdata", toy, "att")
+}

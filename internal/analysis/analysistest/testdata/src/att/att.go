@@ -1,0 +1,9 @@
+// Package att is the self-test fixture for the analysistest harness.
+package att
+
+func badOne() {} // want `function named badOne`
+
+func good() {}
+
+//fast:allow toy fixture for the suppression path
+func badTwo() {}

@@ -1,0 +1,14 @@
+package detrange
+
+import (
+	"testing"
+
+	"fast/internal/analysis/analysistest"
+)
+
+func TestDetrange(t *testing.T) {
+	old := Scope
+	Scope = []string{"detr"}
+	defer func() { Scope = old }()
+	analysistest.Run(t, "testdata", Analyzer, "detr")
+}

@@ -1,0 +1,105 @@
+// Package detr exercises the detrange analyzer: map ranges whose
+// iteration order does and does not reach results.
+package detr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// appendsInOrder leaks map order into a result slice.
+func appendsInOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to out \(slice order follows map order\)`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// collectedUnsorted collects keys but never sorts them.
+func collectedUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map keys collected into keys but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the canonical sorted-keys idiom: clean.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sumFloat accumulates floating point in map order.
+func sumFloat(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulates floating point into total`
+		total += v
+	}
+	return total
+}
+
+// countInt is order-insensitive integer accumulation: clean.
+func countInt(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert builds another map: order-insensitive per distinct key, clean.
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// printAll writes output in map order.
+func printAll(m map[string]int) {
+	for k, v := range m { // want `writes output via fmt.Printf in map order`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// anyKey returns an arbitrary element.
+func anyKey(m map[string]int) string {
+	for k := range m { // want `returns from inside the iteration`
+		return k
+	}
+	return ""
+}
+
+// mutateByPointer hands outer state to a callee per iteration.
+func mutateByPointer(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `passes &total to a callee`
+		addTo(&total, v)
+	}
+	return total
+}
+
+func addTo(dst *int, v int) { *dst += v }
+
+// allowed documents an intentional exception.
+func allowed(m map[string]int) []string {
+	var out []string
+	//fast:allow detrange the caller treats this slice as a set
+	for k := range m {
+		out = append(out, k+"?")
+	}
+	return out
+}
+
+// badAllow names an analyzer that does not exist.
+func badAllow(m map[string]int) int {
+	//fast:allow bogus not a real pass — want `fast:allow needs a known analyzer name`
+	return len(m)
+}

@@ -1,0 +1,8 @@
+// Package tiny exercises the testdata loader: one standard-library
+// import resolved through export data.
+package tiny
+
+import "strings"
+
+// Upper wraps strings.ToUpper.
+func Upper(s string) string { return strings.ToUpper(s) }

@@ -1,0 +1,8 @@
+// Package tiny2 exercises cross-package loading: it imports a sibling
+// testdata package, which must resolve from the loaded set.
+package tiny2
+
+import "tiny"
+
+// Shout upcases with emphasis.
+func Shout(s string) string { return tiny.Upper(s) + "!" }

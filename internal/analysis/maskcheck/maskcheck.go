@@ -1,0 +1,615 @@
+// Package maskcheck statically proves the soundness of the
+// parameter-sliced stage memoization in internal/sim: a stage cache
+// keyed by arch.Config.SubKey(mask) is only sound if the mask covers
+// every searched hyperparameter the stage can read — one missed bit
+// and two different designs silently alias the same cache entry.
+//
+// A memoized stage declares its key coverage with a directive on the
+// stage function:
+//
+//	//fast:stage mask=<ParamMask expr> [fixed=<attr,attr,...>]
+//
+// where <ParamMask expr> names a package-level arch.ParamMask value
+// (e.g. mappingParams, or arch.AllParams&^arch.MaskOf(arch.PNativeBatch);
+// the expression must contain no spaces) and fixed= lists the fixed
+// platform attributes — cores, clock, mem — the cache key carries
+// beside the masked sub-tuple. maskcheck then traces every arch.Config
+// field read reachable from the stage function body, across function
+// and package boundaries, and reports:
+//
+//   - a searched-hyperparameter field read whose parameter bit is not
+//     in the declared mask;
+//   - a fixed platform attribute (Cores, ClockGHz, Mem) read but not
+//     listed in fixed=;
+//   - a read of Config.Name (identity metadata no cache key covers);
+//   - a Config value passed to a function whose body the analyzer
+//     cannot see (the read set would be unknowable);
+//   - a function that uses the sim stage cache (stageCache.get) but
+//     carries no //fast:stage directive at all.
+//
+// Calls to Config.SubKey are exempt from the trace: SubKey is the
+// keying primitive itself and reads every field by design.
+package maskcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fast/internal/analysis"
+	"fast/internal/analysis/load"
+)
+
+// Analyzer is the maskcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maskcheck",
+	Doc:  "verify //fast:stage mask directives cover every arch.Config field a memoized stage reads",
+	Run:  run,
+}
+
+// paramOf maps each searched-hyperparameter Config field to the arch
+// parameter constant that owns its SubKey slot. The pairing is pinned
+// against the real arch package by TestParamOfMatchesArch.
+var paramOf = map[string]string{
+	"PEsX": "PPEsX", "PEsY": "PPEsY",
+	"SAx": "PSAx", "SAy": "PSAy",
+	"VectorMult": "PVectorMult",
+	"L1Config":   "PL1Config",
+	"L1InputKiB": "PL1Input", "L1WeightKiB": "PL1Weight", "L1OutputKiB": "PL1Output",
+	"L2Config":     "PL2Config",
+	"L2InputMult":  "PL2InputMult",
+	"L2WeightMult": "PL2WeightMult",
+	"L2OutputMult": "PL2OutputMult",
+	"GlobalMiB":    "PGlobal",
+	"MemChannels":  "PChannels",
+	"NativeBatch":  "PNativeBatch",
+}
+
+// fixedOf maps the fixed platform-attribute Config fields to their
+// fixed= directive tokens.
+var fixedOf = map[string]string{
+	"Cores":    "cores",
+	"ClockGHz": "clock",
+	"Mem":      "mem",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			dir, err := analysis.ParseStageDirective(fd.Doc)
+			if err != nil {
+				pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: err.Error()})
+				continue
+			}
+			if dir == nil {
+				if pos, ok := usesStageCache(pass.Pkg, fd.Body); ok {
+					pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: fmt.Sprintf(
+						"%s memoizes through a stage cache (at %s) but has no //fast:stage mask directive",
+						fd.Name.Name, pass.Fset.Position(pos))})
+				}
+				continue
+			}
+			checkStage(pass, file, fd, dir)
+		}
+	}
+	return nil
+}
+
+// usesStageCache reports whether body calls the get method of the sim
+// stage-cache type (a method named "get" or "Get" on a receiver whose
+// named type contains "stageCache").
+func usesStageCache(pkg *load.Package, body ast.Node) (token.Pos, bool) {
+	var pos token.Pos
+	var found bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		s := pkg.Info.Selections[sel]
+		if s == nil || s.Kind() != types.MethodVal {
+			return true
+		}
+		if name := s.Obj().Name(); name != "get" && name != "Get" {
+			return true
+		}
+		if named := namedOf(s.Recv()); named != nil && strings.Contains(named.Obj().Name(), "stageCache") {
+			pos, found = sel.Pos(), true
+		}
+		return !found
+	})
+	return pos, found
+}
+
+// checkStage verifies one annotated stage function against its directive.
+func checkStage(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl, dir *analysis.StageDirective) {
+	mask, err := evalMaskExpr(pass.Prog, pass.Pkg, file, dir.MaskExpr)
+	if err != nil {
+		pass.Report(analysis.Diagnostic{Pos: dir.Pos, Message: fmt.Sprintf(
+			"fast:stage mask=%s: %v", dir.MaskExpr, err)})
+		return
+	}
+	fixed := map[string]bool{}
+	for _, f := range dir.Fixed {
+		if !validFixed(f) {
+			pass.Report(analysis.Diagnostic{Pos: dir.Pos, Message: fmt.Sprintf(
+				"fast:stage fixed=%s: unknown attribute %q (want cores, clock, mem)", strings.Join(dir.Fixed, ","), f)})
+			return
+		}
+		fixed[f] = true
+	}
+
+	tr := &tracer{prog: pass.Prog, visited: map[*types.Func]bool{}, reads: map[string]readSite{}}
+	tr.walk(pass.Pkg, fd.Body, "")
+
+	var fields []string
+	for f := range tr.reads {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		site := tr.reads[f]
+		where := pass.Fset.Position(site.pos).String()
+		if site.chain != "" {
+			where += " via " + site.chain
+		}
+		switch {
+		case paramOf[f] != "":
+			bit, err := paramBit(site.cfg, paramOf[f])
+			if err != nil {
+				pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: fmt.Sprintf(
+					"%s: cannot resolve parameter %s for Config.%s: %v", fd.Name.Name, paramOf[f], f, err)})
+				continue
+			}
+			if mask&bit == 0 {
+				pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: fmt.Sprintf(
+					"%s reads Config.%s (%s) outside its declared mask %s — stale cache aliasing (read at %s)",
+					fd.Name.Name, f, paramOf[f], dir.MaskExpr, where)})
+			}
+		case fixedOf[f] != "":
+			if !fixed[fixedOf[f]] {
+				pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: fmt.Sprintf(
+					"%s reads fixed attribute Config.%s but the directive does not declare fixed=%s (read at %s)",
+					fd.Name.Name, f, fixedOf[f], where)})
+			}
+		default:
+			pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: fmt.Sprintf(
+				"%s reads Config.%s, which no stage cache key covers (read at %s)", fd.Name.Name, f, where)})
+		}
+	}
+
+	var escapes []string
+	for e := range tr.escapes {
+		escapes = append(escapes, e)
+	}
+	sort.Strings(escapes)
+	for _, e := range escapes {
+		site := tr.escapes[e]
+		pass.Report(analysis.Diagnostic{Pos: fd.Pos(), Message: fmt.Sprintf(
+			"%s passes arch.Config to %s, whose body maskcheck cannot analyze (at %s)",
+			fd.Name.Name, e, pass.Fset.Position(site))})
+	}
+}
+
+func validFixed(tok string) bool {
+	for _, v := range fixedOf {
+		if v == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// readSite records where a Config field read was first observed.
+type readSite struct {
+	pos   token.Pos
+	chain string
+	// cfg is the Config named type the read was observed on; its
+	// package resolves the parameter constants.
+	cfg *types.Named
+}
+
+// tracer walks a stage function's reachable call graph collecting
+// arch.Config field reads.
+type tracer struct {
+	prog    *load.Program
+	visited map[*types.Func]bool
+	reads   map[string]readSite
+	escapes map[string]token.Pos
+}
+
+// walk records Config field reads in body (a node of pkg) and recurses
+// into every statically resolvable callee defined in the module.
+func (t *tracer) walk(pkg *load.Package, body ast.Node, chain string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			t.selector(pkg, n, chain)
+		case *ast.CallExpr:
+			t.call(pkg, n, chain)
+		}
+		return true
+	})
+}
+
+// selector records a Config field read, and traces method values and
+// method expressions (on any receiver type) like calls — Config reads
+// hide behind helpers like NumPEs or a power model's Evaluate.
+func (t *tracer) selector(pkg *load.Package, sel *ast.SelectorExpr, chain string) {
+	s := pkg.Info.Selections[sel]
+	if s == nil {
+		return
+	}
+	switch s.Kind() {
+	case types.FieldVal:
+		if named := namedOf(s.Recv()); named != nil && isConfigType(named) {
+			name := s.Obj().Name()
+			if _, seen := t.reads[name]; !seen {
+				t.reads[name] = readSite{pos: sel.Sel.Pos(), chain: chain, cfg: named}
+			}
+		}
+	case types.MethodVal, types.MethodExpr:
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || isSubKey(fn, s.Recv()) {
+			return
+		}
+		t.descend(fn, sel.Sel.Pos(), chain, pkg)
+	}
+}
+
+// isSubKey matches the Config.SubKey keying primitive, which reads
+// every field by design and is exempt from the trace.
+func isSubKey(fn *types.Func, recv types.Type) bool {
+	if fn.Name() != "SubKey" {
+		return false
+	}
+	named := namedOf(recv)
+	return named != nil && isConfigType(named)
+}
+
+// call resolves the callee of one call expression. Package-level
+// functions and methods defined in the module are descended into
+// (selector already handles methods; descend dedups); calls out of the
+// analyzable world are an escape when a Config value flows into them.
+func (t *tracer) call(pkg *load.Package, call *ast.CallExpr, chain string) {
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[f]; s != nil {
+			fn, _ = s.Obj().(*types.Func)
+			if fn != nil && isSubKey(fn, s.Recv()) {
+				return
+			}
+		} else {
+			// Qualified call through a package name (pkg.Func).
+			fn, _ = pkg.Info.Uses[f.Sel].(*types.Func)
+		}
+	default:
+		// A call through a function value (e.g. the memoized compute
+		// closure): its body, if a literal, is walked in place.
+	}
+	if fn == nil {
+		return
+	}
+	if !t.descend(fn, call.Pos(), chain, pkg) {
+		t.checkEscape(pkg, call, fn, chain)
+	}
+}
+
+// descend recurses into fn's declaration if the module defines it.
+// Reports whether a body was found.
+func (t *tracer) descend(fn *types.Func, pos token.Pos, chain string, from *load.Package) bool {
+	decl := t.prog.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	if t.visited[fn] {
+		return true
+	}
+	t.visited[fn] = true
+	callee := t.prog.ByPath[fn.Pkg().Path()]
+	if callee == nil {
+		return false
+	}
+	name := fn.Name()
+	if fn.Pkg() != from.Types {
+		name = fn.Pkg().Name() + "." + name
+	}
+	next := name
+	if chain != "" {
+		next = chain + " → " + name
+	}
+	t.walk(callee, decl.Body, next)
+	return true
+}
+
+// checkEscape reports a Config-typed value flowing into a function the
+// analyzer has no body for (standard library, interface method, …).
+func (t *tracer) checkEscape(pkg *load.Package, call *ast.CallExpr, fn *types.Func, chain string) {
+	for _, arg := range call.Args {
+		tv, ok := pkg.Info.Types[arg]
+		if !ok {
+			continue
+		}
+		if named := namedOf(tv.Type); named != nil && isConfigType(named) {
+			if t.escapes == nil {
+				t.escapes = map[string]token.Pos{}
+			}
+			name := fn.FullName()
+			if chain != "" {
+				name += " (via " + chain + ")"
+			}
+			if _, seen := t.escapes[name]; !seen {
+				t.escapes[name] = call.Pos()
+			}
+		}
+	}
+}
+
+// isConfigType reports whether named is the architecture Config type:
+// a struct named Config whose package also declares ParamMask (this
+// identifies internal/arch without hardcoding its import path, so the
+// analyzer tests can use a fixture package).
+func isConfigType(named *types.Named) bool {
+	if named.Obj().Name() != "Config" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Scope().Lookup("ParamMask") != nil
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// paramBit returns 1<<value of the named parameter constant in the
+// package that declares the Config type the read was observed on.
+func paramBit(cfg *types.Named, constName string) (uint64, error) {
+	obj := cfg.Obj().Pkg().Scope().Lookup(constName)
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return 0, fmt.Errorf("%s is not a constant in package %s", constName, cfg.Obj().Pkg().Path())
+	}
+	v, err := constUint64(c)
+	if err != nil {
+		return 0, err
+	}
+	return 1 << v, nil
+}
+
+// --- mask expression evaluation ---
+
+// evalMaskExpr evaluates a //fast:stage mask expression in the context
+// of the file it annotates: identifiers resolve to package-level
+// constants and variables (variables through their initializer
+// expressions), pkg.Name selectors resolve through the file's imports,
+// MaskOf calls fold to their bit-or, and |, &, ^, &^ combine masks.
+func evalMaskExpr(prog *load.Program, pkg *load.Package, file *ast.File, expr string) (uint64, error) {
+	e, err := parser.ParseExpr(expr)
+	if err != nil {
+		return 0, fmt.Errorf("parse: %v", err)
+	}
+	return evalUntyped(prog, pkg, file, e)
+}
+
+// evalUntyped evaluates a freshly parsed (untypechecked) expression.
+func evalUntyped(prog *load.Program, pkg *load.Package, file *ast.File, e ast.Expr) (uint64, error) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return evalUntyped(prog, pkg, file, e.X)
+	case *ast.BasicLit:
+		var v uint64
+		if _, err := fmt.Sscanf(e.Value, "%v", &v); err != nil {
+			return 0, fmt.Errorf("bad literal %s", e.Value)
+		}
+		return v, nil
+	case *ast.Ident:
+		return evalObject(prog, pkg.Types.Scope().Lookup(e.Name), e.Name)
+	case *ast.SelectorExpr:
+		x, ok := e.X.(*ast.Ident)
+		if !ok {
+			return 0, fmt.Errorf("unsupported selector base in mask expression")
+		}
+		dep, err := importedPackage(prog, pkg, file, x.Name)
+		if err != nil {
+			return 0, err
+		}
+		return evalObject(prog, dep.Types.Scope().Lookup(e.Sel.Name), x.Name+"."+e.Sel.Name)
+	case *ast.BinaryExpr:
+		lhs, err := evalUntyped(prog, pkg, file, e.X)
+		if err != nil {
+			return 0, err
+		}
+		rhs, err := evalUntyped(prog, pkg, file, e.Y)
+		if err != nil {
+			return 0, err
+		}
+		return applyOp(e.Op, lhs, rhs)
+	case *ast.CallExpr:
+		return foldMaskOf(e, func(arg ast.Expr) (uint64, error) {
+			return evalUntyped(prog, pkg, file, arg)
+		})
+	}
+	return 0, fmt.Errorf("unsupported mask expression form %T", e)
+}
+
+// evalTyped evaluates an expression that was typechecked as part of
+// pkg (a package-level variable initializer).
+func evalTyped(prog *load.Program, pkg *load.Package, e ast.Expr) (uint64, error) {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		return constValUint64(tv.Value, "expression")
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return evalTyped(prog, pkg, e.X)
+	case *ast.Ident:
+		return evalObject(prog, pkg.Info.Uses[e], e.Name)
+	case *ast.SelectorExpr:
+		return evalObject(prog, pkg.Info.Uses[e.Sel], e.Sel.Name)
+	case *ast.BinaryExpr:
+		lhs, err := evalTyped(prog, pkg, e.X)
+		if err != nil {
+			return 0, err
+		}
+		rhs, err := evalTyped(prog, pkg, e.Y)
+		if err != nil {
+			return 0, err
+		}
+		return applyOp(e.Op, lhs, rhs)
+	case *ast.CallExpr:
+		return foldMaskOf(e, func(arg ast.Expr) (uint64, error) {
+			return evalTyped(prog, pkg, arg)
+		})
+	}
+	return 0, fmt.Errorf("unsupported mask initializer form %T", e)
+}
+
+// foldMaskOf folds a MaskOf(p...) call into its bit-or; the callee is
+// matched syntactically (MaskOf or pkg.MaskOf) so the same fold serves
+// typechecked initializers and raw directive expressions.
+func foldMaskOf(call *ast.CallExpr, evalArg func(ast.Expr) (uint64, error)) (uint64, error) {
+	name := ""
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	}
+	if name != "MaskOf" {
+		return 0, fmt.Errorf("unsupported call %s in mask expression (only MaskOf)", name)
+	}
+	var mask uint64
+	for _, arg := range call.Args {
+		p, err := evalArg(arg)
+		if err != nil {
+			return 0, err
+		}
+		mask |= 1 << p
+	}
+	return mask, nil
+}
+
+// evalObject evaluates a package-level constant or variable object: a
+// constant yields its value, a variable its (recursively evaluated)
+// initializer from the defining package's source.
+func evalObject(prog *load.Program, obj types.Object, name string) (uint64, error) {
+	switch obj := obj.(type) {
+	case *types.Const:
+		return constUint64(obj)
+	case *types.Var:
+		defPkg := prog.ByPath[obj.Pkg().Path()]
+		if defPkg == nil {
+			return 0, fmt.Errorf("%s: defining package %s not loaded from source", name, obj.Pkg().Path())
+		}
+		init := varInit(defPkg, obj)
+		if init == nil {
+			return 0, fmt.Errorf("%s has no package-level initializer", name)
+		}
+		return evalTyped(prog, defPkg, init)
+	case nil:
+		return 0, fmt.Errorf("unknown identifier %s", name)
+	}
+	return 0, fmt.Errorf("%s is neither a constant nor a variable", name)
+}
+
+// varInit finds the package-level initializer expression of v.
+func varInit(pkg *load.Package, v *types.Var) ast.Expr {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, name := range vs.Names {
+					if pkg.Info.Defs[name] == v && i < len(vs.Values) {
+						return vs.Values[i]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// importedPackage resolves a file's import by local name or base path
+// element to a source-loaded module package.
+func importedPackage(prog *load.Program, pkg *load.Package, file *ast.File, name string) (*load.Package, error) {
+	for _, im := range file.Imports {
+		path := strings.Trim(im.Path.Value, `"`)
+		local := ""
+		if im.Name != nil {
+			local = im.Name.Name
+		} else if i := strings.LastIndex(path, "/"); i >= 0 {
+			local = path[i+1:]
+		} else {
+			local = path
+		}
+		if local != name {
+			continue
+		}
+		dep := prog.ByPath[path]
+		if dep == nil {
+			return nil, fmt.Errorf("package %s (%s) not loaded from source", name, path)
+		}
+		return dep, nil
+	}
+	return nil, fmt.Errorf("no import named %s in %s", name, pkg.Path)
+}
+
+// applyOp folds one binary operator over mask values.
+func applyOp(op token.Token, lhs, rhs uint64) (uint64, error) {
+	switch op {
+	case token.OR:
+		return lhs | rhs, nil
+	case token.AND:
+		return lhs & rhs, nil
+	case token.AND_NOT:
+		return lhs &^ rhs, nil
+	case token.XOR:
+		return lhs ^ rhs, nil
+	case token.SHL:
+		return lhs << rhs, nil
+	case token.ADD:
+		return lhs + rhs, nil
+	case token.SUB:
+		return lhs - rhs, nil
+	}
+	return 0, fmt.Errorf("unsupported operator %s in mask expression", op)
+}
+
+// constUint64 extracts a uint64 from a typed constant object.
+func constUint64(c *types.Const) (uint64, error) {
+	return constValUint64(c.Val(), c.Name())
+}
+
+func constValUint64(v constant.Value, name string) (uint64, error) {
+	u, ok := constant.Uint64Val(constant.ToInt(v))
+	if !ok {
+		return 0, fmt.Errorf("%s is not an integer constant", name)
+	}
+	return u, nil
+}

@@ -1,0 +1,96 @@
+package maskcheck
+
+import (
+	"go/constant"
+	"go/types"
+	"reflect"
+	"testing"
+
+	"fast/internal/analysis/analysistest"
+	"fast/internal/analysis/load"
+	"fast/internal/arch"
+)
+
+func TestMaskcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "archfake", "stagehelp", "stages")
+}
+
+// TestParamOfMatchesArch pins the hardcoded field→parameter table
+// against the real arch package: perturbing exactly the Space
+// dimension a paramOf entry names must change exactly the Config field
+// it is keyed by. The constant values come from typechecking
+// internal/arch, so a renumbered or renamed parameter fails here
+// before it can mislead the analyzer.
+func TestParamOfMatchesArch(t *testing.T) {
+	prog, err := load.Load(".", "fast/internal/arch")
+	if err != nil {
+		t.Fatalf("load internal/arch: %v", err)
+	}
+	archPkg := prog.ByPath["fast/internal/arch"]
+	if archPkg == nil {
+		t.Fatal("internal/arch not in loaded program")
+	}
+	scope := archPkg.Types.Scope()
+
+	var s arch.Space
+	base := &arch.Config{}
+	ref := s.Decode([arch.NumParams]int{}, base)
+
+	seen := map[int]bool{}
+	for field, constName := range paramOf {
+		c, ok := scope.Lookup(constName).(*types.Const)
+		if !ok {
+			t.Errorf("paramOf[%q] = %q: not a constant in internal/arch", field, constName)
+			continue
+		}
+		idx64, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok || idx64 < 0 || idx64 >= arch.NumParams {
+			t.Errorf("paramOf[%q] = %q: value %v outside the parameter space", field, constName, c.Val())
+			continue
+		}
+		idx := int(idx64)
+		if seen[idx] {
+			t.Errorf("paramOf maps two fields to parameter %s", constName)
+		}
+		seen[idx] = true
+
+		var vec [arch.NumParams]int
+		vec[idx] = 1
+		changed := diffFields(ref, s.Decode(vec, base))
+		if len(changed) != 1 || changed[0] != field {
+			t.Errorf("perturbing %s changed fields %v, want [%s]", constName, changed, field)
+		}
+	}
+	if len(seen) != arch.NumParams {
+		t.Errorf("paramOf covers %d of %d searched parameters", len(seen), arch.NumParams)
+	}
+
+	// Completeness: every Config field is a searched parameter, a fixed
+	// platform attribute, or identity metadata — anything else would be
+	// invisible to the mask soundness argument.
+	ct := reflect.TypeOf(arch.Config{})
+	for i := 0; i < ct.NumField(); i++ {
+		name := ct.Field(i).Name
+		if name == "Name" {
+			continue
+		}
+		if _, ok := paramOf[name]; ok {
+			continue
+		}
+		if _, ok := fixedOf[name]; ok {
+			continue
+		}
+		t.Errorf("arch.Config field %s is in neither paramOf nor fixedOf — maskcheck cannot classify it", name)
+	}
+}
+
+func diffFields(a, b *arch.Config) []string {
+	av, bv := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	var out []string
+	for i := 0; i < av.NumField(); i++ {
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			out = append(out, av.Type().Field(i).Name)
+		}
+	}
+	return out
+}

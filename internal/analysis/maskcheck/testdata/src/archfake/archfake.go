@@ -1,0 +1,57 @@
+// Package archfake mirrors the shape of internal/arch that maskcheck
+// keys on: a struct named Config declared in a package that also
+// declares ParamMask, searched-parameter constants, and the
+// MaskOf/SubKey primitives. Field names follow the real arch package
+// so the analyzer's field→parameter table applies unchanged.
+package archfake
+
+// ParamMask selects a subset of the searched parameters.
+type ParamMask uint32
+
+// Searched-parameter indices (a subset of the real space).
+const (
+	PPEsX = iota
+	PPEsY
+	PNativeBatch
+	NumParams
+)
+
+// AllParams covers every searched parameter.
+const AllParams = ParamMask(1<<NumParams - 1)
+
+// MaskOf builds the mask with the given parameter bits set.
+func MaskOf(params ...int) ParamMask {
+	var m ParamMask
+	for _, p := range params {
+		m |= 1 << p
+	}
+	return m
+}
+
+// Config is the fixture architecture configuration: searched
+// parameters, fixed platform attributes, and identity metadata.
+type Config struct {
+	Name string
+
+	PEsX, PEsY  int
+	NativeBatch int
+
+	Cores    int
+	ClockGHz float64
+	Mem      string
+}
+
+// SubKey packs the masked parameters into a cache key.
+func (c *Config) SubKey(mask ParamMask) uint64 {
+	var k uint64
+	if mask&MaskOf(PPEsX) != 0 {
+		k = k<<8 | uint64(c.PEsX)
+	}
+	if mask&MaskOf(PPEsY) != 0 {
+		k = k<<8 | uint64(c.PEsY)
+	}
+	if mask&MaskOf(PNativeBatch) != 0 {
+		k = k<<8 | uint64(c.NativeBatch)
+	}
+	return k
+}

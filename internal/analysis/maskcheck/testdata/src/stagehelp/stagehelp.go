@@ -1,0 +1,11 @@
+// Package stagehelp holds a cross-package helper for the maskcheck
+// interprocedural fixtures: a Config field read hidden one package
+// away from the annotated stage.
+package stagehelp
+
+import "archfake"
+
+// BatchFactor reads the native batch parameter.
+func BatchFactor(c *archfake.Config) int {
+	return c.NativeBatch
+}

@@ -1,0 +1,124 @@
+// Package stages exercises the maskcheck analyzer: memoized stage
+// functions with sound, unsound, missing, malformed, and suppressed
+// //fast:stage directives.
+package stages
+
+import (
+	"fmt"
+
+	"archfake"
+	"stagehelp"
+)
+
+// stageCache is a miniature of the sim stage cache the analyzer keys
+// on (a get method on a type whose name contains "stageCache").
+type stageCache struct {
+	m map[uint64]float64
+}
+
+func (c *stageCache) get(key uint64, compute func() float64) float64 {
+	if v, ok := c.m[key]; ok {
+		return v
+	}
+	v := compute()
+	c.m[key] = v
+	return v
+}
+
+// gridParams covers the PE grid parameters.
+var gridParams = archfake.MaskOf(archfake.PPEsX, archfake.PPEsY)
+
+// goodStage reads exactly the fields its mask declares.
+//
+//fast:stage mask=gridParams
+func goodStage(c *stageCache, cfg *archfake.Config) float64 {
+	return c.get(cfg.SubKey(gridParams), func() float64 {
+		return float64(cfg.PEsX * cfg.PEsY)
+	})
+}
+
+// inlineMask declares its mask as a directive-local expression rather
+// than a package-level variable.
+//
+//fast:stage mask=archfake.AllParams&^archfake.MaskOf(archfake.PPEsY)
+func inlineMask(c *stageCache, cfg *archfake.Config) float64 {
+	return c.get(cfg.SubKey(archfake.AllParams&^archfake.MaskOf(archfake.PPEsY)), func() float64 {
+		return float64(cfg.PEsX * cfg.NativeBatch)
+	})
+}
+
+// missingMask reads NativeBatch outside its declared grid mask.
+//
+//fast:stage mask=gridParams
+func missingMask(c *stageCache, cfg *archfake.Config) float64 { // want `missingMask reads Config.NativeBatch \(PNativeBatch\) outside its declared mask gridParams`
+	return c.get(cfg.SubKey(gridParams), func() float64 {
+		return float64(cfg.PEsX * cfg.NativeBatch)
+	})
+}
+
+// interStage reads NativeBatch through a helper defined in another
+// package — the trace must cross the package boundary to see it.
+//
+//fast:stage mask=gridParams
+func interStage(c *stageCache, cfg *archfake.Config) float64 { // want `interStage reads Config.NativeBatch .* via stagehelp.BatchFactor`
+	return c.get(cfg.SubKey(gridParams), func() float64 {
+		return float64(cfg.PEsX * stagehelp.BatchFactor(cfg))
+	})
+}
+
+// powerish reads the fixed Cores attribute and declares it.
+//
+//fast:stage mask=gridParams fixed=cores
+func powerish(c *stageCache, cfg *archfake.Config) float64 {
+	return c.get(cfg.SubKey(gridParams), func() float64 {
+		return float64(cfg.PEsX*cfg.PEsY) * float64(cfg.Cores)
+	})
+}
+
+// undeclaredFixed reads ClockGHz without declaring fixed=clock.
+//
+//fast:stage mask=gridParams
+func undeclaredFixed(c *stageCache, cfg *archfake.Config) float64 { // want `undeclaredFixed reads fixed attribute Config.ClockGHz but the directive does not declare fixed=clock`
+	return c.get(cfg.SubKey(gridParams), func() float64 {
+		return float64(cfg.PEsX) * cfg.ClockGHz
+	})
+}
+
+// readsName reads identity metadata no cache key covers.
+//
+//fast:stage mask=gridParams
+func readsName(c *stageCache, cfg *archfake.Config) float64 { // want `readsName reads Config.Name, which no stage cache key covers`
+	if cfg.Name == "" {
+		return 0
+	}
+	return c.get(cfg.SubKey(gridParams), func() float64 { return float64(cfg.PEsX) })
+}
+
+// leaky hands the whole Config to fmt.Sprintf, whose read set is
+// invisible to the tracer.
+//
+//fast:stage mask=gridParams
+func leaky(c *stageCache, cfg *archfake.Config) float64 { // want `leaky passes arch.Config to fmt.Sprintf`
+	_ = fmt.Sprintf("%v", *cfg)
+	return c.get(cfg.SubKey(gridParams), func() float64 { return float64(cfg.PEsY) })
+}
+
+// noDirective memoizes without declaring a mask at all.
+func noDirective(c *stageCache, cfg *archfake.Config) float64 { // want `noDirective memoizes through a stage cache .* but has no //fast:stage mask directive`
+	return c.get(uint64(cfg.PEsX), func() float64 { return 1 })
+}
+
+// badDirective has a malformed directive.
+//
+//fast:stage cover=everything
+func badDirective(c *stageCache, cfg *archfake.Config) float64 { // want `unknown field "cover=everything"`
+	return c.get(uint64(cfg.PEsY), func() float64 { return 3 })
+}
+
+// suppressed memoizes through the cache with a precomputed key; the
+// allow documents why the missing directive is intentional.
+//
+//fast:allow maskcheck key is a precomputed hash, not a Config sub-tuple
+func suppressed(c *stageCache, key uint64) float64 {
+	return c.get(key, func() float64 { return 2 })
+}

@@ -1,0 +1,14 @@
+package nondetsource
+
+import (
+	"testing"
+
+	"fast/internal/analysis/analysistest"
+)
+
+func TestNondetsource(t *testing.T) {
+	old := Scope
+	Scope = []string{"nds"}
+	defer func() { Scope = old }()
+	analysistest.Run(t, "testdata", Analyzer, "nds")
+}

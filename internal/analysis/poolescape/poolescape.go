@@ -1,0 +1,313 @@
+// Package poolescape checks the pooled-scratch discipline around
+// sync.Pool: a value obtained from Pool.Get must stay inside the
+// Get/Put window of the function that fetched it. A pooled value that
+// is returned, stored into longer-lived state, or captured by a
+// non-Put function literal can be recycled by Put while still
+// referenced — silent data corruption under concurrency, the exact
+// failure mode the engine's pooled evaluate/greedy/solver scratch is
+// one refactor away from. A Get with no Put at all in the same
+// function is reported too (either a leak or a hidden escape).
+//
+// The analysis is intraprocedural and tracks simple aliases
+// (y := x). Functions that intentionally hand pooled memory across a
+// boundary must carry a //fast:allow poolescape directive explaining
+// why the lifetime is safe.
+package poolescape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fast/internal/analysis"
+)
+
+// Analyzer is the poolescape pass. It runs on every package — pool
+// misuse is unsound anywhere.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "flag sync.Pool Get results escaping the Get/Put window",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// tracked is one pooled value obtained in the function.
+type tracked struct {
+	getPos token.Pos
+	name   string
+	put    bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	vals := map[types.Object]*tracked{}
+
+	// Pass 1: find Get results and aliases, and Put calls.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if pos, ok := poolGet(info, rhs); ok {
+					vals[obj] = &tracked{getPos: pos, name: id.Name}
+				} else if src, ok := aliasOf(info, vals, rhs); ok {
+					vals[obj] = src
+				}
+			}
+		case *ast.CallExpr:
+			if obj, ok := poolPutArg(info, vals, n); ok {
+				obj.put = true
+			}
+		}
+		return true
+	})
+	if len(vals) == 0 {
+		return
+	}
+
+	// Pass 2: escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if tr, ok := refersTo(info, vals, res); ok && carriesRef(info, res) {
+					pass.Report(analysis.Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+						"pooled value %s escapes the Get/Put window via return", tr.name)})
+					tr.put = true // the escape diagnostic subsumes the missing-Put one
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				tr, ok := refersTo(info, vals, rhs)
+				if !ok || !carriesRef(info, rhs) {
+					continue
+				}
+				if escapee, bad := heapLHS(info, vals, n.Lhs[i]); bad {
+					pass.Report(analysis.Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+						"pooled value %s escapes the Get/Put window via store to %s", tr.name, escapee)})
+					tr.put = true
+				}
+			}
+		case *ast.FuncLit:
+			// A literal that exists to Put the value back is the idiomatic
+			// deferred release; anything else capturing the value may run
+			// after Put.
+			if containsPut(info, vals, n) {
+				return false
+			}
+			for obj, tr := range vals {
+				if usesObject(info, n, obj) {
+					pass.Report(analysis.Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+						"pooled value %s captured by a function literal outside the Get/Put window", tr.name)})
+					tr.put = true
+				}
+			}
+			return false
+		}
+		return true
+	})
+
+	for _, tr := range vals {
+		if !tr.put {
+			pass.Report(analysis.Diagnostic{Pos: tr.getPos, Message: fmt.Sprintf(
+				"pooled value %s is never Put back in this function (leak or hidden escape)", tr.name)})
+		}
+	}
+}
+
+// poolGet matches sync.Pool Get calls, optionally behind a type
+// assertion: pool.Get(), pool.Get().(*T).
+func poolGet(info *types.Info, e ast.Expr) (token.Pos, bool) {
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return token.NoPos, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return token.NoPos, false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Obj().Name() != "Get" || !isSyncPool(s.Recv()) {
+		return token.NoPos, false
+	}
+	return call.Pos(), true
+}
+
+// poolPutArg matches pool.Put(x) where x is tracked (possibly deferred).
+func poolPutArg(info *types.Info, vals map[types.Object]*tracked, call *ast.CallExpr) (*tracked, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Obj().Name() != "Put" || !isSyncPool(s.Recv()) {
+		return nil, false
+	}
+	for _, arg := range call.Args {
+		if tr, ok := refersTo(info, vals, arg); ok {
+			return tr, true
+		}
+	}
+	return nil, false
+}
+
+// aliasOf resolves `y := x` where x is tracked.
+func aliasOf(info *types.Info, vals map[types.Object]*tracked, e ast.Expr) (*tracked, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	tr, ok := vals[info.Uses[id]]
+	return tr, ok
+}
+
+// carriesRef reports whether e's type can carry a reference into
+// pooled memory. A plain scalar (s.buf[0], len(s.buf)) is a copy and
+// cannot alias the pooled value after Put.
+func carriesRef(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unknown type: stay conservative
+	}
+	_, basic := tv.Type.Underlying().(*types.Basic)
+	return !basic
+}
+
+// refersTo reports whether e mentions a tracked object directly
+// (identifier, field/index/paren/star/unary chains off it).
+func refersTo(info *types.Info, vals map[types.Object]*tracked, e ast.Expr) (*tracked, bool) {
+	var found *tracked
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && found == nil {
+			if tr, ok := vals[info.Uses[id]]; ok {
+				found = tr
+			}
+		}
+		return found == nil
+	})
+	return found, found != nil
+}
+
+// heapLHS reports whether an assignment target outlives the function's
+// locals: a package-level variable, or a store through a selector,
+// index, or dereference whose base is not itself a tracked pooled
+// value (writing a field *of* the scratch is its normal use).
+func heapLHS(info *types.Info, vals map[types.Object]*tracked, lhs ast.Expr) (string, bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := info.Defs[l]
+		if obj == nil {
+			obj = info.Uses[l]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return "package-level " + l.Name, true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		if base := rootIdent(l.X); base != nil {
+			if _, pooled := vals[info.Uses[base]]; pooled {
+				return "", false
+			}
+			return base.Name + "." + l.Sel.Name, true
+		}
+		return l.Sel.Name, true
+	case *ast.IndexExpr:
+		if base := rootIdent(l.X); base != nil {
+			if _, pooled := vals[info.Uses[base]]; pooled {
+				return "", false
+			}
+			return base.Name + "[...]", true
+		}
+		return "indexed location", true
+	case *ast.StarExpr:
+		return "dereferenced pointer", true
+	}
+	return "", false
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// containsPut reports whether the function literal's body Puts a
+// tracked value back (the deferred-release idiom).
+func containsPut(info *types.Info, vals map[types.Object]*tracked, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !found {
+			if tr, ok := poolPutArg(info, vals, call); ok {
+				tr.put = true
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObject reports whether node mentions obj.
+func usesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncPool matches (a pointer to) sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}

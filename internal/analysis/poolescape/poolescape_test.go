@@ -1,0 +1,11 @@
+package poolescape
+
+import (
+	"testing"
+
+	"fast/internal/analysis/analysistest"
+)
+
+func TestPoolescape(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "pe")
+}

@@ -1,0 +1,65 @@
+// Package pe exercises the poolescape analyzer: pooled values that
+// stay inside the Get/Put window and ones that escape it.
+package pe
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+var sink *scratch
+
+// clean follows the Get / defer Put discipline.
+func clean() float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	s.buf = append(s.buf[:0], 1)
+	return s.buf[0]
+}
+
+// deferredRelease puts the value back from a closure; returning a
+// scalar copied out of the scratch is not an escape.
+func deferredRelease() float64 {
+	s := pool.Get().(*scratch)
+	defer func() { pool.Put(s) }()
+	s.buf = append(s.buf[:0], 2)
+	return s.buf[0]
+}
+
+// leakReturn hands the pooled value to the caller.
+func leakReturn() *scratch {
+	s := pool.Get().(*scratch)
+	return s // want `pooled value s escapes the Get/Put window via return`
+}
+
+// leakGlobal parks the pooled value in package state.
+func leakGlobal() {
+	s := pool.Get().(*scratch)
+	sink = s // want `pooled value s escapes the Get/Put window via store to package-level sink`
+	pool.Put(s)
+}
+
+// leakClosure captures the pooled value in a literal that outlives Put.
+func leakClosure() func() {
+	s := pool.Get().(*scratch)
+	pool.Put(s)
+	f := func() { // want `pooled value s captured by a function literal outside the Get/Put window`
+		s.buf = nil
+	}
+	return f
+}
+
+// neverPut forgets the release entirely.
+func neverPut() {
+	s := pool.Get().(*scratch) // want `pooled value s is never Put back in this function`
+	s.buf = s.buf[:0]
+}
+
+// handoff intentionally transfers ownership; the allow documents the
+// protocol.
+func handoff() *scratch {
+	s := pool.Get().(*scratch)
+	//fast:allow poolescape caller must return the scratch to the pool
+	return s
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"fast/internal/arch"
@@ -560,8 +561,14 @@ func batchObjectiveOver[S any](workloads []string, simFP string, simOpts sim.Opt
 				nb := alive[ai].cfg.NativeBatch
 				groups[nb] = append(groups[nb], ai)
 			}
+			nbs := make([]int64, 0, len(groups))
+			for nb := range groups {
+				nbs = append(nbs, nb)
+			}
+			slices.Sort(nbs)
 			dead := make(map[int]bool)
-			for nb, ais := range groups {
+			for _, nb := range nbs {
+				ais := groups[nb]
 				plan, err := plans.get(w, nb, simFP, simOpts)
 				if err != nil {
 					for _, ai := range ais {

@@ -394,6 +394,7 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 	}
 
 	res, err := ilp.Solve(ilp.Problem{C: c, A: a, B: b, U: u, Binary: bin}, ilp.Options{
+		//fast:allow nondetsource sets the ILP budget deadline; a timeout falls back to the deterministic greedy placement
 		Deadline:  time.Now().Add(deadline),
 		WarmStart: warm,
 		Dense:     dense,

@@ -49,6 +49,7 @@ func solveDense(p Problem, o Options) (Result, error) {
 	}
 
 	expired := func() bool {
+		//fast:allow nondetsource branch-and-bound deadline seam: time only truncates the search, never changes a returned incumbent's value
 		return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
 	}
 

@@ -328,6 +328,7 @@ func (s *lpState) dualSimplex(maxIter int, deadline time.Time) lpStatus {
 			return lpFail
 		}
 		s.iters++
+		//fast:allow nondetsource simplex deadline seam: expiry aborts to the greedy fallback, it does not alter pivots
 		if s.iters%64 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
 			return lpDeadline
 		}

@@ -113,6 +113,7 @@ func simplexDeadline(c []float64, a [][]float64, b []float64, maxIter int, deadl
 	runPhase := func(obj []float64, objVal *float64, limit int) bool {
 		for iter < maxIter {
 			iter++
+			//fast:allow nondetsource simplex deadline seam: expiry aborts to the greedy fallback, it does not alter pivots
 			if iter%64 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
 				return true // treat as converged; caller re-checks deadline
 			}

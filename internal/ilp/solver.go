@@ -185,6 +185,7 @@ func solveSparse(p Problem, o Options) (Result, bool) {
 		res.X = append([]float64(nil), o.WarmStart...)
 	}
 	expired := func() bool {
+		//fast:allow nondetsource branch-and-bound deadline seam: time only truncates the search, never changes a returned incumbent's value
 		return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
 	}
 

@@ -59,8 +59,22 @@ func (r *Result) ByClass(classify func(*hlo.Op) string) []ClassBreakdown {
 		totalT += ot.Sec
 		totalF += float64(hlo.FLOPs(ot.Op))
 	}
-	var out []ClassBreakdown
+	out := classRows(timeBy, flopBy, totalT, totalF)
+	sort.Slice(out, func(i, j int) bool { return out[i].RuntimeShare > out[j].RuntimeShare })
+	return out
+}
+
+// classRows materializes breakdown rows in sorted class order, so the
+// result (including the relative order of runtime-share ties) does not
+// depend on map iteration order.
+func classRows(timeBy, flopBy map[string]float64, totalT, totalF float64) []ClassBreakdown {
+	classes := make([]string, 0, len(timeBy))
 	for c := range timeBy {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	out := make([]ClassBreakdown, 0, len(classes))
+	for _, c := range classes {
 		row := ClassBreakdown{Class: c}
 		if totalT > 0 {
 			row.RuntimeShare = timeBy[c] / totalT
@@ -70,7 +84,6 @@ func (r *Result) ByClass(classify func(*hlo.Op) string) []ClassBreakdown {
 		}
 		out = append(out, row)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RuntimeShare > out[j].RuntimeShare })
 	return out
 }
 
@@ -186,17 +199,7 @@ func (r *Result) ByClassRegion(classify func(*hlo.Op) string) []ClassBreakdown {
 		timeBy[classify(primary)] += rs.SecPost * (1 - serialShare)
 		totalT += rs.SecPost
 	}
-	var out []ClassBreakdown
-	for c := range timeBy {
-		row := ClassBreakdown{Class: c}
-		if totalT > 0 {
-			row.RuntimeShare = timeBy[c] / totalT
-		}
-		if totalF > 0 {
-			row.FLOPShare = flopBy[c] / totalF
-		}
-		out = append(out, row)
-	}
+	out := classRows(timeBy, flopBy, totalT, totalF)
 	sort.Slice(out, func(i, j int) bool { return out[i].RuntimeShare > out[j].RuntimeShare })
 	return out
 }

@@ -172,6 +172,8 @@ func capacityBytes(cfg *arch.Config) int64 {
 // mappedFor returns the mapping-stage results for cfg: the best schedule
 // mapping of every unique matrix problem, in dense problem order. The
 // slice is cache-owned and read-only.
+//
+//fast:stage mask=mappingParams
 func (p *Plan) mappedFor(cfg *arch.Config) []mapping.Mapping {
 	key := mapKey{sub: cfg.SubKey(mappingParams), schemes: p.schemeKey}
 	return p.mapCache.get(mix(key.sub^key.schemes), key, func() []mapping.Mapping {
@@ -185,7 +187,11 @@ func (p *Plan) mappedFor(cfg *arch.Config) []mapping.Mapping {
 
 // floorFor returns the residency-stage results for an effective blocking
 // capacity: each unique problem's DRAM-traffic floor beyond its
-// compulsory bytes. The slice is cache-owned and read-only.
+// compulsory bytes. The slice is cache-owned and read-only. The cache
+// key is the derived capacity itself, not a Config sub-tuple, so the
+// declared mask is empty.
+//
+//fast:stage mask=0
 func (p *Plan) floorFor(capBytes int64) []int64 {
 	return p.floorCache.get(mix(uint64(capBytes)), capBytes, func() []int64 {
 		out := make([]int64, len(p.problems))
@@ -198,6 +204,8 @@ func (p *Plan) floorFor(capBytes int64) []int64 {
 
 // powerFor returns the roll-up stage for cfg: the power/area breakdown
 // under the plan's power model.
+//
+//fast:stage mask=powerParams fixed=cores,clock,mem
 func (p *Plan) powerFor(cfg *arch.Config) power.Breakdown {
 	key := powerKey{
 		sub:   cfg.SubKey(powerParams),
@@ -215,6 +223,8 @@ func (p *Plan) powerFor(cfg *arch.Config) power.Breakdown {
 // variant: the placement assignment comes from the stage cache (first
 // caller pays the greedy/ILP solve), the per-design roll-up is re-derived
 // fresh so every Result owns its Solution slices.
+//
+//fast:stage mask=fusionParams fixed=cores,clock,mem
 func (p *Plan) fusionFor(cfg *arch.Config, algIdx int, costs []fusion.RegionCost) fusion.Solution {
 	key := fusionKey{
 		sub:   cfg.SubKey(fusionParams),

@@ -24,9 +24,16 @@ PROFILE=${COVER_GATE_PROFILE:-coverage.out}
 
 go test -count=1 -coverprofile="$PROFILE" ./...
 
-total=$(go tool cover -func="$PROFILE" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+# The fastlint CLI wiring (flag parsing, vet-protocol plumbing in
+# cmd/fastlint) is exercised end-to-end by the fastlint CI job rather
+# than unit tests; keep it out of the statement-coverage floor. The
+# analyzers themselves (internal/analysis/...) stay gated.
+GATED="$PROFILE.gated"
+grep -v '^fast/cmd/fastlint/' "$PROFILE" > "$GATED"
+
+total=$(go tool cover -func="$GATED" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
 if [ -z "$total" ]; then
-	echo "cover_gate: could not parse total coverage from $PROFILE" >&2
+	echo "cover_gate: could not parse total coverage from $GATED" >&2
 	exit 1
 fi
 
