@@ -1,0 +1,108 @@
+// Command fast-serve is the FAST study daemon: an HTTP/JSON service
+// that runs accelerator-search studies for many tenants concurrently on
+// one simulator process, checkpoints every study durably, and resumes
+// interrupted studies bit-identically after a restart.
+//
+// API (see docs/API.md for schemas and curl examples):
+//
+//	POST /v1/studies                submit a study (runs when a tenant
+//	                                concurrency slot frees up)
+//	GET  /v1/studies?tenant=t       list a tenant's studies
+//	GET  /v1/studies/{id}           status summary
+//	GET  /v1/studies/{id}/result    final report (409 until done)
+//	GET  /v1/studies/{id}/events    live progress via SSE
+//	POST /v1/studies/{id}/cancel    stop a running study
+//	POST /v1/studies/{id}/resume    continue from the durable checkpoint
+//	GET  /debug/vars                metrics (flat JSON)
+//	GET  /healthz                   liveness
+//
+// State lives under -data as one directory per study (spec, fsync'd
+// transcript, status); kill the process at any point and restart it on
+// the same directory — running studies come back as "interrupted" and
+// resume exactly where the last durable batch left off.
+//
+// Usage:
+//
+//	fast-serve -addr :8080 -data /var/lib/fast
+//	fast-serve -data ./studies -parallel 8 -cache-entries 64 -cache-bytes 268435456
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fast"
+	"fast/internal/serve"
+	"fast/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		data         = flag.String("data", "fast-studies", "study checkpoint directory")
+		parallel     = flag.Int("parallel", 0, "concurrent evaluations per running study (0 = one per CPU)")
+		maxStudies   = flag.Int("max-studies", 64, "stored studies allowed per tenant")
+		maxActive    = flag.Int("max-active", 2, "concurrently running studies per tenant")
+		maxTrials    = flag.Int("max-trials", 2000, "trial budget allowed per study")
+		cacheEntries = flag.Int("cache-entries", 0, "plan cache entry budget (0 = unbounded)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "plan cache byte budget (0 = unbounded)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	if *cacheEntries > 0 || *cacheBytes > 0 {
+		fast.SetPlanCacheBudget(fast.PlanCacheBudget{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes})
+	}
+
+	st, err := store.Open(*data)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Store:               st,
+		MaxStudiesPerTenant: *maxStudies,
+		MaxActivePerTenant:  *maxActive,
+		MaxTrialsPerStudy:   *maxTrials,
+		Parallelism:         *parallel,
+		Logf:                log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("level=info msg=listening addr=%s data=%s", *addr, *data)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		log.Printf("level=info msg=shutdown signal=%s", s)
+	}
+
+	// Graceful stop: stop accepting, cancel running studies (their
+	// checkpoints stand; they restart as "interrupted"), drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("level=warn msg=\"http shutdown\" err=%q", err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fast-serve:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package fast_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -90,6 +91,61 @@ func ExampleStudy_paretoFront() {
 	// found a front: true
 	// every point within budget: true
 	// sorted by Perf/TDP: true
+}
+
+// ExampleStudy_resume interrupts a study mid-search and resumes it from
+// a checkpoint, landing on the exact result an uninterrupted run
+// produces. WithTranscript feeds every durable batch to a Snapshot (the
+// same record fast-serve fsyncs to disk); WithResume replays it.
+func ExampleStudy_resume() {
+	study := func() *fast.Study {
+		return &fast.Study{
+			Workloads: []string{"mobilenetv2"},
+			Objective: fast.ObjectivePerfPerTDP,
+			Algorithm: fast.AlgorithmLCS,
+			Trials:    48,
+			Seed:      3,
+		}
+	}
+
+	// First "process": checkpoint every told batch, crash after 16
+	// trials. Only complete batches reach the transcript, so the
+	// snapshot is always a clean resume point.
+	var snap = fast.Snapshot{Algorithm: fast.AlgorithmLCS, Seed: 3, Budget: 48}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := study().Run(ctx, fast.WithBatchSize(8),
+		fast.WithTranscript(func(batch []fast.Trial) {
+			snap.Append(batch)
+			if len(snap.Trials) >= 16 {
+				cancel()
+			}
+		}))
+	fmt.Println("interrupted:", errors.Is(err, context.Canceled))
+
+	// Second "process": resume from the checkpoint and finish the
+	// remaining budget.
+	tail := 0
+	resumed, err := study().Run(context.Background(), fast.WithBatchSize(8),
+		fast.WithResume(snap),
+		fast.WithTranscript(func(batch []fast.Trial) { tail += len(batch) }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("finished the full budget:", len(snap.Trials)+tail == 48)
+
+	// The interruption is invisible: an uninterrupted run of the same
+	// study yields the identical winner.
+	straight, err := study().Run(context.Background(), fast.WithBatchSize(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("identical to an uninterrupted study:",
+		resumed.BestValue == straight.BestValue && resumed.Best.Name == straight.Best.Name)
+	// Output:
+	// interrupted: true
+	// finished the full budget: true
+	// identical to an uninterrupted study: true
 }
 
 // ExampleROIParams reproduces the paper's §5.1 break-even analysis for

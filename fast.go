@@ -182,6 +182,49 @@ func WithProgress(f func(Trial)) Option { return core.WithProgress(f) }
 // them, multi-objective studies keep them off the Pareto front.
 func WithBudget(b Budget) Option { return core.WithBudget(b) }
 
+// Snapshot is a checkpoint of an optimizer's state: its constructor
+// parameters plus the full ask/tell transcript. Optimizer state evolves
+// only through that transcript, so the snapshot restores the search
+// exactly (RestoreOptimizer), and JSON round-trips it bit-exactly —
+// the durable format of the fast-serve daemon's checkpoints.
+type Snapshot = search.Snapshot
+
+// RestoreOptimizer rebuilds an optimizer in the snapshotted state by
+// transcript replay, verifying the replayed proposals against the
+// record. Optimizers built by NewOptimizer satisfy search.Snapshotter,
+// whose Snapshot method produces these checkpoints.
+func RestoreOptimizer(s Snapshot) (search.Snapshotter, error) { return search.Restore(s) }
+
+// WithTranscript registers a checkpoint hook for one Study.Run: f
+// observes every fully told ask batch, in transcript order, from the
+// driving goroutine. Feeding the batches to (*Snapshot).Append captures
+// everything needed to resume the study with WithResume.
+func WithTranscript(f func(batch []Trial)) Option { return core.WithTranscript(f) }
+
+// WithResume warm-starts a Study.Run from a checkpoint: prior trials
+// seed the memoization cache and count toward Study.Trials, and the
+// merged result is bit-identical to an uninterrupted run. Set
+// Study.Trials above the snapshot's count to warm-continue with more
+// trials. The snapshot must match the study's algorithm and seed.
+func WithResume(snap Snapshot) Option { return core.WithResume(snap) }
+
+// PlanCacheBudget bounds the process-wide compiled-plan cache by entry
+// count and/or accounted bytes; zero fields are unbounded.
+type PlanCacheBudget = core.PlanCacheBudget
+
+// PlanCacheStats is a snapshot of the plan cache's size and
+// hit/miss/eviction counters.
+type PlanCacheStats = core.PlanCacheStats
+
+// SetPlanCacheBudget bounds the shared plan cache (LRU eviction).
+// Eviction never changes results — an evicted plan recompiles
+// deterministically on next use. Long-lived multi-tenant servers should
+// set both fields; fast-serve's -cache-entries/-cache-bytes flags do.
+func SetPlanCacheBudget(b PlanCacheBudget) { core.SetPlanCacheBudget(b) }
+
+// PlanCacheInfo reports the shared plan cache's current counters.
+func PlanCacheInfo() PlanCacheStats { return core.PlanCacheInfo() }
+
 // BuildModel constructs a workload graph by canonical name (e.g.
 // "efficientnet-b7", "bert-1024", "resnet50", "ocr-rpn",
 // "ocr-recognizer") at the given batch size.

@@ -193,63 +193,6 @@ func (gc *graphCache) get(name string, batch int64) (*hlo.Graph, error) {
 // and EvaluateDesign.
 var graphs = &graphCache{}
 
-// planKey identifies one compiled simulation plan: a workload graph at a
-// specific batch under a specific simulator-options fingerprint.
-type planKey struct {
-	model string
-	batch int64
-	fp    string
-}
-
-// planCache upgrades the graph cache to compiled plans (sim.Compile):
-// all design-independent simulator analysis for a (workload, options)
-// pair is done once per process and shared, so per-trial work reduces to
-// Plan.Evaluate. Entries follow the graphCache discipline: the global
-// lock covers only the map lookup; each entry compiles at most once,
-// with concurrent requesters for the same key waiting on that compile
-// while other keys proceed. Plans are immutable, so Runner workers
-// evaluate one shared Plan concurrently without synchronization.
-type planCache struct {
-	mu sync.Mutex
-	m  map[planKey]*planEntry
-}
-
-type planEntry struct {
-	once sync.Once
-	p    *sim.Plan
-	err  error
-}
-
-// get returns the compiled plan for (name, batch, opts). fp must be
-// opts.Fingerprint(), hoisted out so per-trial callers don't re-render
-// it (it is constant across a study).
-func (pc *planCache) get(name string, batch int64, fp string, opts sim.Options) (*sim.Plan, error) {
-	key := planKey{model: name, batch: batch, fp: fp}
-	pc.mu.Lock()
-	if pc.m == nil {
-		pc.m = map[planKey]*planEntry{}
-	}
-	e, ok := pc.m[key]
-	if !ok {
-		e = &planEntry{}
-		pc.m[key] = e
-	}
-	pc.mu.Unlock()
-	e.once.Do(func() {
-		g, err := graphs.get(name, batch)
-		if err != nil {
-			e.err = err
-			return
-		}
-		e.p, e.err = sim.Compile(g, opts)
-	})
-	return e.p, e.err
-}
-
-// plans is the process-wide plan cache shared by Study.Run and
-// EvaluateDesign.
-var plans = &planCache{}
-
 // Option configures one Study.Run invocation (concurrency and
 // observability knobs, as opposed to the Study fields that define the
 // experiment itself).
@@ -260,6 +203,8 @@ type runConfig struct {
 	batchSize   int
 	progress    func(search.Trial)
 	budget      *power.Budget
+	onBatch     func([]search.Trial)
+	resume      *search.Snapshot
 }
 
 // WithParallelism bounds concurrent design evaluations. n <= 0 (the
@@ -353,16 +298,12 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	if alg == "" {
 		alg = search.AlgLCS
 	}
-	runner := &Runner{
-		Optimizer:      search.New(alg, s.Seed, s.Trials),
-		Objective:      objective,
-		BatchObjective: batchObjective,
-		Trials:         s.Trials,
-		Parallelism:    rc.parallelism,
-		BatchSize:      rc.batchSize,
-		OnTrial:        rc.progress,
+	runner, prior, err := s.buildRunner(rc, alg, objective, batchObjective)
+	if err != nil {
+		return nil, err
 	}
 	sr, runErr := runner.Run(ctx)
+	sr = mergePrior(prior, sr)
 
 	out := &StudyResult{Search: sr}
 	if !sr.Best.Feasible {

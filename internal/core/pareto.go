@@ -83,16 +83,12 @@ func (s *Study) runMulti(ctx context.Context, rc runConfig, base *arch.Config, p
 	if alg == "" {
 		alg = search.AlgNSGA2
 	}
-	runner := &Runner{
-		Optimizer:      search.New(alg, s.Seed, s.Trials),
-		Objective:      objective,
-		BatchObjective: batchObjective,
-		Trials:         s.Trials,
-		Parallelism:    rc.parallelism,
-		BatchSize:      rc.batchSize,
-		OnTrial:        rc.progress,
+	runner, prior, err := s.buildRunner(rc, alg, objective, batchObjective)
+	if err != nil {
+		return nil, err
 	}
 	sr, runErr := runner.Run(ctx)
+	sr = mergePrior(prior, sr)
 
 	// The front is the non-dominated subset of the full history — not
 	// of the optimizer's final population — folded in deterministic

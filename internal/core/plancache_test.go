@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/sim"
+)
+
+// checkCacheInvariants asserts the cache's internal accounting is
+// consistent: every resident entry is accounted, the byte counter
+// equals the sum over resident entries, and map and LRU list agree.
+func checkCacheInvariants(t *testing.T, pc *planCache) {
+	t.Helper()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if len(pc.m) != pc.lru.Len() {
+		t.Fatalf("map has %d entries, LRU list %d", len(pc.m), pc.lru.Len())
+	}
+	var sum int64
+	for el := pc.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		if pc.m[e.key] != e {
+			t.Fatalf("LRU entry %v not in map", e.key)
+		}
+		if e.evicted {
+			t.Fatalf("evicted entry %v still resident", e.key)
+		}
+		if e.accounted {
+			sum += e.bytes
+		}
+	}
+	if sum != pc.bytes {
+		t.Fatalf("accounted bytes %d, counter says %d", sum, pc.bytes)
+	}
+}
+
+// TestPlanCacheEntryBudget: a MaxEntries budget evicts in LRU order —
+// touching an entry protects it, the coldest key goes first, and a
+// re-request of an evicted key recompiles (a fresh miss).
+func TestPlanCacheEntryBudget(t *testing.T) {
+	opts := sim.FASTOptions()
+	fp := opts.Fingerprint()
+	pc := &planCache{}
+	pc.setBudget(PlanCacheBudget{MaxEntries: 2})
+
+	get := func(batch int64) *sim.Plan {
+		t.Helper()
+		p, err := pc.get("mobilenetv2", batch, fp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := get(8)  // [a]
+	get(16)      // [b a]
+	a2 := get(8) // [a b] — touch a so b is coldest
+	if a2 != a {
+		t.Fatal("hit returned a different plan")
+	}
+	get(24) // [c a], b evicted
+
+	st := pc.stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Misses != 3 || st.Hits != 1 {
+		t.Fatalf("stats after LRU eviction = %+v, want 2 entries, 1 eviction, 3 misses, 1 hit", st)
+	}
+	checkCacheInvariants(t, pc)
+
+	get(16) // b again: must recompile, a (the new coldest) evicted
+	st = pc.stats()
+	if st.Misses != 4 || st.Evictions != 2 || st.Entries != 2 {
+		t.Fatalf("stats after re-request of evicted key = %+v, want 4 misses, 2 evictions, 2 entries", st)
+	}
+	checkCacheInvariants(t, pc)
+}
+
+// TestPlanCacheByteBudget: a MaxBytes budget holds whenever more than
+// one plan is resident, and a single plan larger than the whole budget
+// is kept anyway (the documented anti-thrash exception).
+func TestPlanCacheByteBudget(t *testing.T) {
+	opts := sim.FASTOptions()
+	fp := opts.Fingerprint()
+	pc := &planCache{}
+	if _, err := pc.get("mobilenetv2", 8, fp, opts); err != nil {
+		t.Fatal(err)
+	}
+	one := pc.stats().Bytes
+	if one <= 0 {
+		t.Fatalf("single plan accounted %d bytes, want > 0", one)
+	}
+
+	// Room for one plan but not two: the second insert evicts the first.
+	pc.setBudget(PlanCacheBudget{MaxBytes: one + one/2})
+	if _, err := pc.get("mobilenetv2", 16, fp, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := pc.stats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want the first plan evicted for the second", st)
+	}
+	if st.Bytes > one+one/2 {
+		t.Fatalf("cache holds %d bytes, budget %d", st.Bytes, one+one/2)
+	}
+	checkCacheInvariants(t, pc)
+
+	// An impossible budget: the newest plan is kept over-budget rather
+	// than thrashing, so the cache degrades to capacity one.
+	pc.setBudget(PlanCacheBudget{MaxBytes: 1})
+	if _, err := pc.get("mobilenetv2", 24, fp, opts); err != nil {
+		t.Fatal(err)
+	}
+	st = pc.stats()
+	if st.Entries != 1 {
+		t.Fatalf("over-budget cache holds %d entries, want exactly the newest plan", st.Entries)
+	}
+	checkCacheInvariants(t, pc)
+}
+
+// TestPlanCacheEvictionPreservesResults: eviction never changes a
+// result — a recompiled plan evaluates bit-identically, and a caller
+// still holding the evicted plan keeps getting the same answers.
+func TestPlanCacheEvictionPreservesResults(t *testing.T) {
+	opts := sim.FASTOptions()
+	fp := opts.Fingerprint()
+	cfg := arch.TPUv3()
+	pc := &planCache{}
+	pc.setBudget(PlanCacheBudget{MaxEntries: 1})
+
+	old, err := pc.get("mobilenetv2", int64(cfg.NativeBatch), fp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := old.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.get("mobilenetv2", 8, fp, opts); err != nil { // evicts old
+		t.Fatal(err)
+	}
+	held, err := old.Evaluate(cfg) // evicted plan stays valid for holders
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := pc.get("mobilenetv2", int64(cfg.NativeBatch), fp, opts) // recompiles
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == old {
+		t.Fatal("re-request after eviction returned the evicted plan object")
+	}
+	re, err := fresh.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range []*sim.Result{held, re} {
+		if got.QPS != want.QPS || got.LatencySec != want.LatencySec ||
+			got.PerfPerTDP != want.PerfPerTDP || got.Fusion.Total != want.Fusion.Total {
+			t.Fatal("evaluation changed across eviction/recompile")
+		}
+	}
+}
+
+// TestPlanCacheBudgetSoak hammers a budgeted cache from concurrent
+// tenants requesting more distinct plans than the budget admits — the
+// multi-tenant server's steady state. Run under -race in CI, it pins
+// that every request is served, the byte bound holds afterwards, and
+// the accounting stays exact through concurrent evict/insert races.
+func TestPlanCacheBudgetSoak(t *testing.T) {
+	opts := sim.FASTOptions()
+	fp := opts.Fingerprint()
+	batches := []int64{8, 16, 24, 32, 40}
+
+	pc := &planCache{}
+	if _, err := pc.get("mobilenetv2", batches[0], fp, opts); err != nil {
+		t.Fatal(err)
+	}
+	one := pc.stats().Bytes
+	budget := PlanCacheBudget{MaxEntries: 3, MaxBytes: 3 * one}
+	pc.setBudget(budget)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				b := batches[(w+i)%len(batches)]
+				p, err := pc.get("mobilenetv2", b, fp, opts)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if p == nil {
+					t.Errorf("worker %d: nil plan", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := pc.stats()
+	if st.Entries > budget.MaxEntries {
+		t.Errorf("soak left %d entries, budget %d", st.Entries, budget.MaxEntries)
+	}
+	if st.Entries > 1 && st.Bytes > budget.MaxBytes {
+		t.Errorf("soak left %d bytes, budget %d", st.Bytes, budget.MaxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("soak over budget recorded no evictions")
+	}
+	// workers×20 soak requests plus the one calibration request.
+	if want := uint64(workers*20 + 1); st.Hits+st.Misses != want {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, want)
+	}
+	checkCacheInvariants(t, pc)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"fast/internal/search"
+)
+
+// resumeCase is one study shape for the kill-restart-resume
+// differential: the three scalar algorithms on a scalar study and
+// NSGA-II on a multi-objective one, so every optimizer's snapshot path
+// is pinned.
+type resumeCase struct {
+	name  string
+	alg   search.Algorithm
+	study func() *Study
+}
+
+func resumeCases() []resumeCase {
+	scalar := func(alg search.Algorithm) func() *Study {
+		return func() *Study {
+			return &Study{
+				Workloads: []string{"efficientnet-b0"},
+				Objective: PerfPerTDP,
+				Algorithm: alg,
+				Trials:    24,
+				Seed:      9,
+			}
+		}
+	}
+	return []resumeCase{
+		{"random", search.AlgRandom, scalar(search.AlgRandom)},
+		{"lcs", search.AlgLCS, scalar(search.AlgLCS)},
+		{"bayes", search.AlgBayes, scalar(search.AlgBayes)},
+		{"nsga2", search.AlgNSGA2, func() *Study {
+			return &Study{
+				Workloads:  []string{"efficientnet-b0"},
+				Objectives: []ObjectiveKind{Perf, TDP},
+				Algorithm:  search.AlgNSGA2,
+				Trials:     32,
+				Seed:       9,
+				FrontCap:   4,
+			}
+		}},
+	}
+}
+
+// sameStudyResult asserts two study results are bit-identical in every
+// deterministic output: full history, best, and (for multi-objective
+// studies) the Pareto front with its per-workload re-simulations.
+func sameStudyResult(t *testing.T, label string, want, got *StudyResult) {
+	t.Helper()
+	if len(want.Search.History) != len(got.Search.History) {
+		t.Fatalf("%s: history length %d, want %d", label, len(got.Search.History), len(want.Search.History))
+	}
+	for i := range want.Search.History {
+		if !want.Search.History[i].Equal(got.Search.History[i]) {
+			t.Fatalf("%s: trial %d differs:\n  want %+v\n  got  %+v",
+				label, i, want.Search.History[i], got.Search.History[i])
+		}
+	}
+	if !want.Search.Best.Equal(got.Search.Best) {
+		t.Fatalf("%s: best trial differs", label)
+	}
+	if want.BestValue != got.BestValue {
+		t.Fatalf("%s: best value %v, want %v", label, got.BestValue, want.BestValue)
+	}
+	if (want.Best == nil) != (got.Best == nil) {
+		t.Fatalf("%s: best design presence differs", label)
+	}
+	if want.Best != nil && *want.Best != *got.Best {
+		t.Fatalf("%s: best design differs", label)
+	}
+	wf, gf := want.Front(), got.Front()
+	if len(wf) != len(gf) {
+		t.Fatalf("%s: front size %d, want %d", label, len(gf), len(wf))
+	}
+	for i := range wf {
+		if wf[i].Index != gf[i].Index {
+			t.Fatalf("%s: front point %d differs: %v vs %v", label, i, wf[i].Index, gf[i].Index)
+		}
+		for k := range wf[i].Values {
+			if wf[i].Values[k] != gf[i].Values[k] {
+				t.Fatalf("%s: front point %d value %d differs", label, i, k)
+			}
+		}
+		if len(wf[i].PerWorkload) != len(gf[i].PerWorkload) {
+			t.Fatalf("%s: front point %d per-workload length differs", label, i)
+		}
+		for k := range wf[i].PerWorkload {
+			wr, gr := wf[i].PerWorkload[k].Result, gf[i].PerWorkload[k].Result
+			if wr.QPS != gr.QPS || wr.LatencySec != gr.LatencySec ||
+				wr.PerfPerTDP != gr.PerfPerTDP || wr.TDPWatts != gr.TDPWatts ||
+				wr.Fusion.Total != gr.Fusion.Total || wr.Fusion.Method != gr.Fusion.Method {
+				t.Fatalf("%s: front point %d workload %d re-simulation differs", label, i, k)
+			}
+		}
+	}
+}
+
+// TestKillRestartResumeDifferential is the durability acceptance test:
+// per algorithm, at parallelism 1 and 4, a study canceled mid-run with
+// its transcript checkpointed, then resumed from the JSON round-tripped
+// snapshot (simulating a fresh process reading the checkpoint back from
+// disk), yields a history, best design, and Pareto front bit-identical
+// to an uninterrupted run.
+func TestKillRestartResumeDifferential(t *testing.T) {
+	for _, tc := range resumeCases() {
+		for _, par := range []int{1, 4} {
+			t.Run(tc.name+"/par"+string(rune('0'+par)), func(t *testing.T) {
+				st := tc.study()
+				ref, err := st.Run(context.Background(), WithParallelism(par), WithBatchSize(8))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Interrupted run: checkpoint every told batch, kill
+				// (cancel) once a third of the budget is recorded.
+				snap := search.Snapshot{Algorithm: tc.alg, Seed: st.Seed, Budget: st.Trials}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				st2 := tc.study()
+				_, err = st2.Run(ctx, WithParallelism(par), WithBatchSize(8),
+					WithTranscript(func(batch []search.Trial) {
+						snap.Append(batch)
+						if len(snap.Trials) >= st2.Trials/3 {
+							cancel()
+						}
+					}))
+				if err != context.Canceled {
+					t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+				}
+				if n := len(snap.Trials); n == 0 || n >= st2.Trials {
+					t.Fatalf("checkpoint captured %d trials, want a strict mid-run prefix", n)
+				}
+				if err := snap.Validate(); err != nil {
+					t.Fatalf("checkpoint snapshot invalid: %v", err)
+				}
+
+				// Fresh process: the snapshot only exists as serialized
+				// bytes. JSON must round-trip it bit-exactly.
+				data, err := json.Marshal(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var loaded search.Snapshot
+				if err := json.Unmarshal(data, &loaded); err != nil {
+					t.Fatal(err)
+				}
+
+				var tail int
+				res, err := tc.study().Run(context.Background(),
+					WithParallelism(par), WithBatchSize(8), WithResume(loaded),
+					WithTranscript(func(batch []search.Trial) { tail += len(batch) }))
+				if err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+				if want := st2.Trials - len(loaded.Trials); tail != want {
+					t.Errorf("resume hook saw %d new trials, want %d (prior batches must not replay)", tail, want)
+				}
+				sameStudyResult(t, tc.name, ref, res)
+			})
+		}
+	}
+}
+
+// TestResumeCompletedStudy: resuming with Trials at the snapshot's
+// count evaluates nothing new and re-derives the full report (including
+// the final full-ILP re-simulations) — how a restarted process
+// re-materializes a finished study from its checkpoint.
+func TestResumeCompletedStudy(t *testing.T) {
+	st := &Study{
+		Workloads: []string{"efficientnet-b0"},
+		Objective: PerfPerTDP,
+		Algorithm: search.AlgLCS,
+		Trials:    16,
+		Seed:      4,
+	}
+	snap := search.Snapshot{Algorithm: st.Algorithm, Seed: st.Seed, Budget: st.Trials}
+	ref, err := st.Run(context.Background(), WithParallelism(2), WithBatchSize(8),
+		WithTranscript(func(batch []search.Trial) { snap.Append(batch) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail int
+	res, err := (&Study{
+		Workloads: st.Workloads,
+		Objective: st.Objective,
+		Algorithm: st.Algorithm,
+		Trials:    st.Trials,
+		Seed:      st.Seed,
+	}).Run(context.Background(), WithParallelism(2), WithBatchSize(8), WithResume(snap),
+		WithTranscript(func(batch []search.Trial) { tail += len(batch) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail != 0 {
+		t.Errorf("re-materializing a finished study evaluated %d new trials, want 0", tail)
+	}
+	sameStudyResult(t, "completed", ref, res)
+	if ref.Best != nil && len(res.PerWorkload) != len(ref.PerWorkload) {
+		t.Errorf("re-materialized report has %d per-workload results, want %d",
+			len(res.PerWorkload), len(ref.PerWorkload))
+	}
+}
+
+// TestResumeRejectsMismatchedStudy: a snapshot from a different seed or
+// algorithm must fail the run rather than silently forking the search.
+func TestResumeRejectsMismatchedStudy(t *testing.T) {
+	st := &Study{
+		Workloads: []string{"efficientnet-b0"},
+		Objective: PerfPerTDP,
+		Algorithm: search.AlgRandom,
+		Trials:    8,
+		Seed:      1,
+	}
+	snap := search.Snapshot{Algorithm: search.AlgRandom, Seed: st.Seed, Budget: st.Trials}
+	if _, err := st.Run(context.Background(), WithTranscript(func(b []search.Trial) { snap.Append(b) })); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongSeed := snap
+	wrongSeed.Seed = 99
+	if _, err := st.Run(context.Background(), WithResume(wrongSeed)); err == nil {
+		t.Error("resume with mismatched seed must fail")
+	}
+	wrongAlg := snap
+	wrongAlg.Algorithm = search.AlgLCS
+	if _, err := st.Run(context.Background(), WithResume(wrongAlg)); err == nil {
+		t.Error("resume with mismatched algorithm must fail")
+	}
+}

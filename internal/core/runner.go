@@ -77,6 +77,27 @@ type Runner struct {
 	// OnTrial, if non-nil, observes every trial in deterministic tell
 	// order from the driving goroutine.
 	OnTrial func(search.Trial)
+	// OnBatch, if non-nil, observes every fully told ask batch, in
+	// transcript order, from the driving goroutine, immediately after
+	// the optimizer's Tell and before the per-trial OnTrial calls. It is
+	// the checkpoint seam: a batch handed to OnBatch is durable search
+	// state — the optimizer has consumed it, and replaying the batches
+	// seen so far (search.Restore) reproduces the optimizer exactly.
+	OnBatch func(batch []search.Trial)
+	// Completed is the number of trials a resumed run has already
+	// evaluated (through an earlier Run whose batches were
+	// checkpointed). The Runner performs Trials-Completed further
+	// evaluations, and — because the ask-batch schedule depends only on
+	// the running done-count — asks them in the exact sizes the
+	// uninterrupted run would have used, which is what makes
+	// kill-restart-resume transcripts bit-identical.
+	Completed int
+	// Warm seeds the memoization cache with previously evaluated trials
+	// (a resumed run's prior history), so revisits of old points replay
+	// the recorded evaluation instead of re-simulating. Purely a
+	// performance hint: the objective is deterministic per index vector,
+	// so omitting Warm changes wall-clock time, never the transcript.
+	Warm []search.Trial
 }
 
 // Run executes up to r.Trials evaluations. On context cancellation it
@@ -97,8 +118,15 @@ func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 		batch = DefaultBatchSize
 	}
 	cache := make(map[[arch.NumParams]int]search.Evaluation)
+	for _, t := range r.Warm {
+		// First observation wins, matching the cache's own discipline
+		// (duplicates in a history carry identical evaluations anyway).
+		if _, ok := cache[t.Index]; !ok {
+			cache[t.Index] = t.Evaluation
+		}
+	}
 
-	for done := 0; done < r.Trials; {
+	for done := r.Completed; done < r.Trials; {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
@@ -208,6 +236,9 @@ func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 			trials[i] = search.Trial{Index: idx, Evaluation: evals[i]}
 		}
 		r.Optimizer.Tell(trials)
+		if r.OnBatch != nil {
+			r.OnBatch(trials)
+		}
 		for _, t := range trials {
 			res.Observe(t)
 			if r.OnTrial != nil {

@@ -1,0 +1,82 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter measures an event rate over a trailing window — the trials/s
+// figure operators watch to size parallelism and spot stalls. Mark
+// records events as they happen; the exported value is events per
+// second over the last window, decaying to zero when events stop
+// (unlike a lifetime counter/uptime average, which flattens stalls
+// away).
+type Meter struct {
+	meta   Info
+	window time.Duration
+	now    func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	samples []meterSample // time-ordered; pruned to the window on access
+}
+
+type meterSample struct {
+	t time.Time
+	n int64
+}
+
+// NewMeter registers and returns a meter over the given trailing
+// window (e.g. 30*time.Second). window must be positive.
+func (r *Registry) NewMeter(name, help string, window time.Duration) *Meter {
+	if window <= 0 {
+		panic("obsv: meter window must be positive")
+	}
+	m := &Meter{
+		meta:   Info{Name: name, Kind: "meter", Help: help},
+		window: window,
+		now:    time.Now,
+	}
+	r.register(m)
+	return m
+}
+
+// Mark records n events now.
+func (m *Meter) Mark(n int64) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	t := m.now() // under the lock, so samples stay time-ordered
+	m.pruneLocked(t)
+	m.samples = append(m.samples, meterSample{t: t, n: n})
+	m.mu.Unlock()
+}
+
+// Rate returns events per second over the trailing window.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pruneLocked(m.now())
+	var sum int64
+	for _, s := range m.samples {
+		sum += s.n
+	}
+	return float64(sum) / m.window.Seconds()
+}
+
+// pruneLocked drops samples older than the window. Samples are
+// time-ordered (Mark timestamps under one lock), so the live suffix is
+// contiguous.
+func (m *Meter) pruneLocked(now time.Time) {
+	cut := now.Add(-m.window)
+	i := 0
+	for i < len(m.samples) && !m.samples[i].t.After(cut) {
+		i++
+	}
+	if i > 0 {
+		m.samples = append(m.samples[:0], m.samples[i:]...)
+	}
+}
+
+func (m *Meter) info() Info { return m.meta }
+func (m *Meter) read() any  { return m.Rate() }

@@ -28,6 +28,7 @@ import (
 // seeded generator, so replaying a transcript (what the concurrent
 // Runner does at any parallelism) reproduces the search exactly.
 type nsga2Optimizer struct {
+	transcript
 	r    *rand.Rand
 	dims [arch.NumParams]int
 	pop  int
@@ -68,6 +69,7 @@ func NewNSGA2(seed int64, budget int) Optimizer {
 	if o.pop < 2 {
 		o.pop = 2 // tournament and crossover need two slots
 	}
+	o.initTranscript(AlgNSGA2, seed, budget)
 	return o
 }
 
@@ -80,10 +82,12 @@ func (o *nsga2Optimizer) Ask(n int) [][arch.NumParams]int {
 		out = append(out, o.queue[0])
 		o.queue = o.queue[1:]
 	}
+	o.recordAsk(len(out))
 	return out
 }
 
 func (o *nsga2Optimizer) Tell(trials []Trial) {
+	o.recordTell(trials)
 	for _, tr := range trials {
 		o.told = append(o.told, nsga2Individual{
 			idx:  tr.Index,

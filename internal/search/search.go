@@ -19,11 +19,14 @@ import (
 	"fast/internal/arch"
 )
 
-// Evaluation is the outcome of one trial.
+// Evaluation is the outcome of one trial. The JSON tags are the durable
+// checkpoint format (internal/store serializes trials line by line);
+// float64 values round-trip bit-exactly through encoding/json's
+// shortest-representation encoding.
 type Evaluation struct {
 	// Value is the objective (higher is better); meaningful only when
 	// Feasible.
-	Value float64
+	Value float64 `json:"value"`
 	// Values is the objective vector of a multi-objective trial, every
 	// component oriented so that higher is better (callers negate
 	// minimization metrics such as TDP or area before storing them).
@@ -31,9 +34,9 @@ type Evaluation struct {
 	// treat a nil Values on a feasible trial as the 1-vector {Value},
 	// which makes every scalar objective a degenerate multi-objective
 	// one.
-	Values []float64
+	Values []float64 `json:"values,omitempty"`
 	// Feasible reports whether the design met every constraint.
-	Feasible bool
+	Feasible bool `json:"feasible"`
 }
 
 // Equal reports whether two evaluations are bit-identical (Evaluation
@@ -78,7 +81,7 @@ type BatchObjective func(idxs [][arch.NumParams]int) []Evaluation
 
 // Trial records one evaluated point.
 type Trial struct {
-	Index [arch.NumParams]int
+	Index [arch.NumParams]int `json:"index"`
 	Evaluation
 }
 
@@ -218,15 +221,19 @@ func Drive(opt Optimizer, obj Objective, trials int) Result {
 	return res
 }
 
-// randomOptimizer samples the space uniformly; Tell is a no-op.
+// randomOptimizer samples the space uniformly; Tell only records the
+// transcript (uniform sampling is memoryless).
 type randomOptimizer struct {
+	transcript
 	r    *rand.Rand
 	dims [arch.NumParams]int
 }
 
 // NewRandom returns the uniform-sampling optimizer.
 func NewRandom(seed int64) Optimizer {
-	return &randomOptimizer{r: rand.New(rand.NewSource(seed)), dims: arch.Space{}.Dims()}
+	o := &randomOptimizer{r: rand.New(rand.NewSource(seed)), dims: arch.Space{}.Dims()}
+	o.initTranscript(AlgRandom, seed, 0)
+	return o
 }
 
 func (o *randomOptimizer) Ask(n int) [][arch.NumParams]int {
@@ -236,10 +243,11 @@ func (o *randomOptimizer) Ask(n int) [][arch.NumParams]int {
 			out[i][d] = o.r.Intn(card)
 		}
 	}
+	o.recordAsk(len(out))
 	return out
 }
 
-func (o *randomOptimizer) Tell([]Trial) {}
+func (o *randomOptimizer) Tell(trials []Trial) { o.recordTell(trials) }
 
 // Random samples the space uniformly (serial adapter over NewRandom).
 func Random(obj Objective, trials int, seed int64) Result {

@@ -1,0 +1,201 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"fast/internal/arch"
+)
+
+// snapObjective is a cheap deterministic stand-in objective with a
+// feasibility boundary, shared by the snapshot tests.
+func snapObjective(idx [arch.NumParams]int) Evaluation {
+	sum := 0
+	for _, v := range idx {
+		sum += v
+	}
+	if sum%5 == 0 {
+		return Evaluation{} // infeasible band, exercises safe-search paths
+	}
+	v := float64(sum) + 0.25*float64(idx[0]-idx[3])
+	return Evaluation{Value: v, Values: []float64{v, -float64(idx[1])}, Feasible: true}
+}
+
+// driveBatches pumps opt through ask/tell rounds of the given sizes,
+// returning every told trial in order.
+func driveBatches(t *testing.T, opt Optimizer, sizes []int) []Trial {
+	t.Helper()
+	var history []Trial
+	for _, n := range sizes {
+		asks := opt.Ask(n)
+		if len(asks) != n {
+			t.Fatalf("Ask(%d) returned %d proposals", n, len(asks))
+		}
+		batch := make([]Trial, n)
+		for i, idx := range asks {
+			batch[i] = Trial{Index: idx, Evaluation: snapObjective(idx)}
+		}
+		opt.Tell(batch)
+		history = append(history, batch...)
+	}
+	return history
+}
+
+// TestSnapshotRestoreIdentity is the checkpoint round-trip property
+// test: for every algorithm, at randomized mid-study points with
+// randomized batch shapes, Snapshot → Restore must yield an optimizer
+// whose future proposals are bit-identical to the original's — i.e.
+// restoring is the identity on optimizer state.
+func TestSnapshotRestoreIdentity(t *testing.T) {
+	algs := []Algorithm{AlgRandom, AlgLCS, AlgBayes, AlgNSGA2}
+	rng := rand.New(rand.NewSource(77))
+	for _, alg := range algs {
+		for trial := 0; trial < 5; trial++ {
+			seed := rng.Int63n(1000)
+			budget := 40 + rng.Intn(100)
+			// Random batch-size schedule up to a random mid-study cut.
+			var sizes []int
+			total := 0
+			cut := 1 + rng.Intn(60)
+			for total < cut {
+				n := 1 + rng.Intn(16)
+				if total+n > cut {
+					n = cut - total
+				}
+				sizes = append(sizes, n)
+				total += n
+			}
+
+			orig := New(alg, seed, budget)
+			driveBatches(t, orig, sizes)
+
+			snap := orig.(Snapshotter).Snapshot()
+			if err := snap.Validate(); err != nil {
+				t.Fatalf("%s: snapshot invalid: %v", alg, err)
+			}
+			if len(snap.Trials) != total {
+				t.Fatalf("%s: snapshot holds %d trials, drove %d", alg, len(snap.Trials), total)
+			}
+			restored, err := Restore(snap)
+			if err != nil {
+				t.Fatalf("%s: Restore: %v", alg, err)
+			}
+
+			// Both must now produce identical futures.
+			futureSizes := []int{7, 16, 3, 16}
+			a := driveBatches(t, orig, futureSizes)
+			b := driveBatches(t, restored, futureSizes)
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					t.Fatalf("%s seed=%d cut=%d: future trial %d diverged: %v vs %v",
+						alg, seed, cut, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotIsCopy verifies Snapshot shares no mutable state with the
+// live optimizer: mutating the returned snapshot must not perturb the
+// optimizer, and a second snapshot must be unaffected.
+func TestSnapshotIsCopy(t *testing.T) {
+	opt := New(AlgNSGA2, 3, 64)
+	driveBatches(t, opt, []int{16, 16})
+	snap := opt.(Snapshotter).Snapshot()
+	for i := range snap.Trials {
+		snap.Trials[i].Index[0] = 999
+		for k := range snap.Trials[i].Values {
+			snap.Trials[i].Values[k] = -1e18
+		}
+	}
+	snap.AskSizes[0] = 999
+	again := opt.(Snapshotter).Snapshot()
+	if again.AskSizes[0] != 16 || again.Trials[0].Index[0] == 999 {
+		t.Fatal("mutating a snapshot leaked into the optimizer state")
+	}
+	if again.Trials[0].Feasible && again.Trials[0].Values != nil && again.Trials[0].Values[0] == -1e18 {
+		t.Fatal("snapshot shares Values storage with the optimizer")
+	}
+}
+
+// TestRestoreRejectsMismatch verifies the replay verification: a
+// snapshot replayed under the wrong seed must be rejected, not silently
+// fork the search.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	opt := New(AlgLCS, 5, 64)
+	driveBatches(t, opt, []int{16})
+	snap := opt.(Snapshotter).Snapshot()
+
+	bad := snap
+	bad.Seed = 6
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("Restore accepted a snapshot under the wrong seed")
+	}
+
+	// Corrupt trial payloads must fail Validate or replay.
+	short := snap
+	short.Trials = short.Trials[:len(short.Trials)-1]
+	if _, err := Restore(short); err == nil {
+		t.Fatal("Restore accepted a snapshot with truncated trials")
+	}
+}
+
+// TestRestoredSnapshotChains verifies a restored optimizer can itself be
+// snapshotted and restored (checkpoint chains across many restarts).
+func TestRestoredSnapshotChains(t *testing.T) {
+	orig := New(AlgBayes, 11, 80)
+	driveBatches(t, orig, []int{16, 16})
+	r1, err := Restore(orig.(Snapshotter).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveBatches(t, r1, []int{16})
+	r2, err := Restore(r1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And r2's future matches a never-restored reference.
+	ref := New(AlgBayes, 11, 80)
+	driveBatches(t, ref, []int{16, 16, 16})
+	a := driveBatches(t, ref, []int{16})
+	b := driveBatches(t, r2, []int{16})
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("trial %d diverged after chained restore", i)
+		}
+	}
+}
+
+// TestSnapshotAppendMatchesRecorder verifies the external checkpoint
+// path (Snapshot.Append fed batch by batch, the shape
+// core.WithTranscript produces) replays identically to the optimizer's
+// own recording.
+func TestSnapshotAppendMatchesRecorder(t *testing.T) {
+	opt := New(AlgLCS, 13, 48)
+	var ext Snapshot
+	ext.Algorithm, ext.Seed, ext.Budget = AlgLCS, 13, 48
+	for _, n := range []int{16, 16, 5} {
+		asks := opt.Ask(n)
+		batch := make([]Trial, n)
+		for i, idx := range asks {
+			batch[i] = Trial{Index: idx, Evaluation: snapObjective(idx)}
+		}
+		opt.Tell(batch)
+		ext.Append(batch)
+	}
+	a, err := Restore(opt.(Snapshotter).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Restore(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := driveBatches(t, a, []int{16})
+	fb := driveBatches(t, b, []int{16})
+	for i := range fa {
+		if !fa[i].Equal(fb[i]) {
+			t.Fatalf("trial %d diverged between recorder and Append snapshots", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// eventHub fans a study's progress out to its SSE subscribers. Delivery
+// is best-effort by design: a subscriber that cannot drain its buffer
+// loses intermediate events (never the stream itself), because a slow
+// reader must not be able to stall the study's run goroutine — the
+// durable record is the transcript in internal/store, not the event
+// stream.
+type eventHub struct {
+	mu     sync.Mutex
+	subs   map[chan event]struct{}
+	closed bool
+}
+
+// event is one SSE frame: a name and a JSON-marshalable payload.
+type event struct {
+	name string
+	data any
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: map[chan event]struct{}{}}
+}
+
+// subscribe registers a buffered subscriber channel. The returned
+// cancel is idempotent and safe after close.
+func (h *eventHub) subscribe() (<-chan event, func()) {
+	ch := make(chan event, 64)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.subs[ch]; ok {
+				delete(h.subs, ch)
+				close(ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+}
+
+// publish delivers e to every subscriber that has buffer room.
+func (h *eventHub) publish(e event) {
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop this event for them
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close ends every subscription; the SSE handlers see their channels
+// close and finish their responses. Terminal states close the hub.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for ch := range h.subs {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// sseHeartbeat keeps idle streams alive through proxies.
+const sseHeartbeat = 15 * time.Second
+
+// serveSSE streams a study's events until the stream ends (terminal
+// study state), the client disconnects, or the server closes.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, st *study) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := s.hubOf(st).subscribe()
+	defer cancel()
+	s.metrics.sseClients.Add(1)
+	defer s.metrics.sseClients.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Opening frame: the current state, so a late subscriber is not
+	// blind until the next batch.
+	writeSSE(w, event{name: "state", data: s.summary(st)})
+	fl.Flush()
+
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				writeSSE(w, event{name: "done", data: s.summary(st)})
+				fl.Flush()
+				return
+			}
+			writeSSE(w, e)
+			fl.Flush()
+		case <-hb.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one text/event-stream frame.
+func writeSSE(w http.ResponseWriter, e event) {
+	data, err := json.Marshal(e.data)
+	if err != nil {
+		data = []byte(fmt.Sprintf("%q", err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.name, data)
+}

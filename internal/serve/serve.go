@@ -1,0 +1,291 @@
+// Package serve is the FAST study daemon: a multi-tenant HTTP/JSON
+// service (cmd/fast-serve) that runs many accelerator-search studies
+// concurrently on one simulator process, checkpointing every study
+// durably enough to survive a crash and resume bit-identically.
+//
+// The layering is strict: serve owns the HTTP surface, the study
+// lifecycle state machine, per-tenant admission control, and event
+// fan-out; internal/core runs the studies; internal/store persists
+// them; internal/obsv counts everything. Nothing here influences
+// search results — a study run through the daemon produces the exact
+// transcript the same core.Study produces in a unit test, which is what
+// makes the restart-resume differential in serve_test.go possible.
+//
+// Lifecycle: a study is queued on POST /v1/studies, runs when its
+// tenant has a free concurrency slot, and ends done, failed, or
+// canceled. A study found in state "running" at start-up was orphaned
+// by a crash or restart and becomes "interrupted"; POST .../resume
+// restores it from its durable transcript and continues exactly where
+// the last fsync'd batch left off. Events stream per study over SSE at
+// GET /v1/studies/{id}/events; metrics aggregate process-wide at
+// GET /debug/vars.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fast/internal/core"
+	"fast/internal/obsv"
+	"fast/internal/search"
+	"fast/internal/store"
+)
+
+// Config assembles a Server. Store is required; everything else
+// defaults.
+type Config struct {
+	// Store is the durability root for specs, transcripts, and status.
+	Store *store.Store
+	// Metrics receives the daemon's instruments; nil creates a private
+	// registry (exposed at /debug/vars either way).
+	Metrics *obsv.Registry
+
+	// MaxStudiesPerTenant caps stored studies per tenant (default 64);
+	// submissions beyond it are rejected 429 until studies are deleted
+	// from the store out of band.
+	MaxStudiesPerTenant int
+	// MaxActivePerTenant caps concurrently running studies per tenant
+	// (default 2); excess studies queue in submission order.
+	MaxActivePerTenant int
+	// MaxTrialsPerStudy caps the trial budget of one study (default
+	// 2000).
+	MaxTrialsPerStudy int
+	// Parallelism is the evaluation worker count per running study
+	// (default: core's default, one per CPU).
+	Parallelism int
+
+	// Logf, when set, receives one structured line per request and per
+	// study state transition.
+	Logf func(format string, args ...any)
+
+	// batchHook, when set, runs at the top of every checkpoint append
+	// (before the batch is written). Test seam only: with warm plan
+	// caches whole studies finish in milliseconds, so lifecycle tests
+	// use it to hold a study mid-run deterministically instead of
+	// racing the clock.
+	batchHook func(tenant, id string)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxStudiesPerTenant <= 0 {
+		out.MaxStudiesPerTenant = 64
+	}
+	if out.MaxActivePerTenant <= 0 {
+		out.MaxActivePerTenant = 2
+	}
+	if out.MaxTrialsPerStudy <= 0 {
+		out.MaxTrialsPerStudy = 2000
+	}
+	if out.Metrics == nil {
+		out.Metrics = obsv.NewRegistry()
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Server is the daemon. Create with New, mount via Handler, stop with
+// Close.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metrics
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	studies map[string]*study        // key: tenant + "/" + id
+	slots   map[string]chan struct{} // per-tenant concurrency semaphores
+	seq     int                      // id allocator for unnamed studies
+}
+
+// study is the in-memory face of one stored study. state and the
+// progress fields are guarded by the server mutex; the store handle is
+// touched only by the single run goroutine (or, between runs, by
+// handlers holding the server mutex).
+type study struct {
+	tenant, id string
+	spec       store.Spec
+	stored     *store.Study
+
+	state        string
+	trialsDone   int
+	trialsTarget int
+	bestValue    float64
+	bestFeasible bool
+	errMsg       string
+
+	cancel context.CancelFunc // non-nil while queued or running
+	result *core.StudyResult  // materialized in-process when done
+	hub    *eventHub
+}
+
+func (st *study) key() string { return st.tenant + "/" + st.id }
+
+// New builds the daemon around a store, recovering restart state:
+// studies the previous process left "running" are marked
+// "interrupted" (resumable), everything else keeps its stored state.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	c := cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       c,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		studies:   map[string]*study{},
+		slots:     map[string]chan struct{}{},
+	}
+	s.metrics = newMetrics(c.Metrics)
+	s.buildMux()
+
+	stored, err := c.Store.List()
+	if err != nil && len(s.studies) == 0 && stored == nil {
+		cancel()
+		return nil, err
+	}
+	for _, sd := range stored {
+		sp := sd.Spec()
+		status, serr := sd.Status()
+		if serr != nil {
+			c.Logf("level=warn msg=\"skipping study with unreadable status\" tenant=%s id=%s err=%q",
+				sp.Tenant, sp.ID, serr)
+			continue
+		}
+		if status.State == store.StateRunning || status.State == store.StateQueued {
+			// Orphaned by the previous process: no run goroutine exists
+			// anymore, so the durable transcript is the whole truth.
+			status.State = store.StateInterrupted
+			if err := sd.SetStatus(status); err != nil {
+				cancel()
+				return nil, err
+			}
+			s.metrics.studiesInterrupted.Inc()
+		}
+		st := &study{
+			tenant:       sp.Tenant,
+			id:           sp.ID,
+			spec:         sp,
+			stored:       sd,
+			state:        status.State,
+			trialsDone:   status.TrialsDone,
+			trialsTarget: status.TrialsTarget,
+			bestValue:    status.BestValue,
+			bestFeasible: status.BestFeasible,
+			errMsg:       status.Error,
+			hub:          newEventHub(),
+		}
+		s.studies[st.key()] = st
+	}
+	if err != nil {
+		c.Logf("level=warn msg=\"store recovery skipped broken studies\" err=%q", err)
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler (request-logging and
+// metrics middleware included).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.httpRequests.Inc()
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.cfg.Logf("level=info method=%s path=%s status=%d dur=%s",
+			r.Method, r.URL.Path, sw.code, time.Since(t0).Round(time.Millisecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards flushing to the underlying writer so SSE streaming
+// works through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Close stops the daemon: cancels every running study (their last
+// durable checkpoints stand; they restart as "interrupted") and waits
+// for run goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelAll()
+	s.wg.Wait()
+}
+
+// slot returns the tenant's concurrency semaphore.
+func (s *Server) slot(tenant string) chan struct{} {
+	if ch, ok := s.slots[tenant]; ok {
+		return ch
+	}
+	ch := make(chan struct{}, s.cfg.MaxActivePerTenant)
+	s.slots[tenant] = ch
+	return ch
+}
+
+// resolveAlgorithm maps a spec to the algorithm core will actually run,
+// which is what the transcript header and resume must use.
+func resolveAlgorithm(sp store.Spec) search.Algorithm {
+	if sp.Algorithm != "" {
+		return search.Algorithm(sp.Algorithm)
+	}
+	if len(sp.Objectives) > 0 {
+		return search.AlgNSGA2
+	}
+	return search.AlgLCS
+}
+
+// coreStudy maps a stored spec onto a core.Study with the given trial
+// target.
+func coreStudy(sp store.Spec, trials int) (*core.Study, error) {
+	cs := &core.Study{
+		Workloads:       sp.Workloads,
+		Algorithm:       search.Algorithm(sp.Algorithm),
+		Trials:          trials,
+		Seed:            sp.Seed,
+		FrontCap:        sp.FrontCap,
+		LatencyBoundSec: sp.LatencyBoundSec,
+	}
+	if len(sp.Objectives) > 0 {
+		for _, name := range sp.Objectives {
+			o, err := core.ParseObjective(name)
+			if err != nil {
+				return nil, err
+			}
+			cs.Objectives = append(cs.Objectives, o)
+		}
+	} else {
+		name := sp.Objective
+		if name == "" {
+			name = "perf-per-tdp"
+		}
+		o, err := core.ParseObjective(name)
+		if err != nil {
+			return nil, err
+		}
+		cs.Objective = o
+	}
+	return cs, nil
+}

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 
 	"fast/internal/arch"
 	"fast/internal/fusion"
@@ -145,6 +146,26 @@ func (p *Plan) Graph() *hlo.Graph { return p.graph }
 
 // Options returns the options the plan was compiled with.
 func (p *Plan) Options() Options { return p.opts }
+
+// SizeBytes estimates the plan's resident size: the immutable
+// design-independent tables Compile builds (regions, per-op cost
+// records, unique mapping problems, fusion pre-analysis). It is the
+// accounting unit of core's LRU-bounded plan cache. Two resident costs
+// are deliberately excluded: the workload graph, which is owned by the
+// process-wide graph cache and shared across plans (counting it here
+// would double-charge every plan of the same workload), and the
+// parameter-sliced stage caches, which grow with use but are bounded
+// per plan by their own shard capacity (stageShards × stageShardCap
+// entries per stage).
+func (p *Plan) SizeBytes() int64 {
+	size := int64(unsafe.Sizeof(*p))
+	size += int64(len(p.regions)) * int64(unsafe.Sizeof(planRegion{}))
+	size += int64(len(p.ops)) * int64(unsafe.Sizeof(planOp{}))
+	size += int64(len(p.problems)) * int64(unsafe.Sizeof(mapping.Problem{}))
+	size += int64(len(p.compulsory)) * 8
+	size += int64(len(p.usable))
+	return size
+}
 
 // Compile runs every design-independent analysis for graph g under opts:
 // fusion-region partitioning, per-region I/O and primary-edge

@@ -1,0 +1,368 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fast/internal/arch"
+	"fast/internal/search"
+)
+
+func testSpec(tenant, id string) Spec {
+	return Spec{
+		Tenant:    tenant,
+		ID:        id,
+		Workloads: []string{"efficientnet-b0"},
+		Objective: "perf-per-tdp",
+		Algorithm: "lcs",
+		Trials:    24,
+		Seed:      7,
+		Created:   "2026-08-07T00:00:00Z",
+	}
+}
+
+// trial fabricates a deterministic trial for transcript tests.
+func trial(i int) search.Trial {
+	var idx [arch.NumParams]int
+	idx[0] = i
+	idx[3] = 2 * i
+	return search.Trial{
+		Index: idx,
+		Evaluation: search.Evaluation{
+			Value:    float64(i) + 0.0625,
+			Feasible: i%3 != 0,
+		},
+	}
+}
+
+func TestCreateGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec("acme", "run-001")
+	s, err := st.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(sp); !errors.Is(err, ErrExists) {
+		t.Fatalf("second Create = %v, want ErrExists", err)
+	}
+
+	got, err := st.Get("acme", "run-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.Spec()
+	if gs.Tenant != "acme" || gs.ID != "run-001" || gs.Trials != 24 || gs.Seed != 7 ||
+		gs.Objective != "perf-per-tdp" || gs.FormatVersion != FormatVersion {
+		t.Errorf("round-tripped spec = %+v", gs)
+	}
+	if _, err := st.Get("acme", "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+
+	status, err := s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != StateQueued || status.TrialsTarget != 24 {
+		t.Errorf("initial status = %+v, want queued with target 24", status)
+	}
+	status.State = StateRunning
+	status.TrialsDone = 8
+	status.Updated = "2026-08-07T00:01:00Z"
+	if err := s.SetStatus(status); err != nil {
+		t.Fatal(err)
+	}
+	re, err := got.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != status {
+		t.Errorf("status round trip: %+v != %+v", re, status)
+	}
+}
+
+func TestNamesAreSanitized(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "..", "../escape", "a/b", "a.b", "x y", strings.Repeat("a", 65)} {
+		if _, err := st.Create(testSpec(bad, "ok")); err == nil {
+			t.Errorf("tenant %q accepted", bad)
+		}
+		if _, err := st.Create(testSpec("ok", bad)); err == nil {
+			t.Errorf("id %q accepted", bad)
+		}
+		if _, err := st.Get(bad, "ok"); err == nil || errors.Is(err, ErrNotFound) {
+			t.Errorf("Get with tenant %q must fail validation, got %v", bad, err)
+		}
+	}
+}
+
+func TestTranscriptRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Create(testSpec("acme", "tr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := search.Snapshot{Algorithm: search.AlgLCS, Seed: 7, Budget: 24}
+	if err := s.BeginTranscript(search.AlgLCS, 7, 24); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range [][]search.Trial{
+		{trial(1), trial(2), trial(3)},
+		{trial(4), trial(5)},
+	} {
+		want.Append(batch)
+		if _, err := s.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CloseTranscript(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle (fresh process) sees the identical snapshot.
+	re, err := st.Get("acme", "tr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, truncated, err := re.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("clean transcript reported truncated")
+	}
+	if snap.Algorithm != want.Algorithm || snap.Seed != want.Seed || snap.Budget != want.Budget {
+		t.Fatalf("snapshot header = %s/%d/%d", snap.Algorithm, snap.Seed, snap.Budget)
+	}
+	if len(snap.AskSizes) != 2 || snap.AskSizes[0] != 3 || snap.AskSizes[1] != 2 {
+		t.Fatalf("ask sizes = %v", snap.AskSizes)
+	}
+	for i := range want.Trials {
+		if !snap.Trials[i].Equal(want.Trials[i]) {
+			t.Fatalf("trial %d differs after round trip", i)
+		}
+	}
+
+	// Resume appends: reopen with matching header and extend.
+	if err := re.BeginTranscript(search.AlgLCS, 7, 24); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.AppendBatch([]search.Trial{trial(6)}); err != nil {
+		t.Fatal(err)
+	}
+	re.CloseTranscript()
+	snap2, _, err := re.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap2.Trials) != 6 || len(snap2.AskSizes) != 3 {
+		t.Fatalf("extended transcript has %d trials in %d batches", len(snap2.Trials), len(snap2.AskSizes))
+	}
+
+	// A mismatched header (different study parameters) must refuse.
+	if err := re.BeginTranscript(search.AlgLCS, 8, 24); err == nil {
+		t.Error("BeginTranscript with mismatched seed must fail")
+	}
+}
+
+func TestEmptyTranscript(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	s, err := st.Create(testSpec("acme", "fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, truncated, err := s.Snapshot()
+	if err != nil || truncated {
+		t.Fatalf("fresh study Snapshot = %v, truncated %v", err, truncated)
+	}
+	if len(snap.Trials) != 0 {
+		t.Errorf("fresh study has %d trials", len(snap.Trials))
+	}
+}
+
+func TestTornTailIsDropped(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	s, err := st.Create(testSpec("acme", "torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginTranscript(search.AlgRandom, 7, 24); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendBatch([]search.Trial{trial(1), trial(2)}); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseTranscript()
+
+	path := filepath.Join(s.Dir(), "transcript.jsonl")
+	for _, tail := range []string{
+		`{"trials":[{"index":[3`,       // torn mid-JSON
+		`{"trials":[{"index":[3,0,0,0`, // torn elsewhere
+		`{"trials":[]}`,                // complete-looking but no newline
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, truncated, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("tail %q: %v", tail, err)
+		}
+		if !truncated {
+			t.Errorf("tail %q: not reported truncated", tail)
+		}
+		if len(snap.Trials) != 2 {
+			t.Errorf("tail %q: snapshot has %d trials, want the 2 durable ones", tail, len(snap.Trials))
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMidFileCorruptionIsFatal(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	s, err := st.Create(testSpec("acme", "corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginTranscript(search.AlgRandom, 7, 24); err != nil {
+		t.Fatal(err)
+	}
+	s.AppendBatch([]search.Trial{trial(1)})
+	s.AppendBatch([]search.Trial{trial(2)})
+	s.CloseTranscript()
+
+	path := filepath.Join(s.Dir(), "transcript.jsonl")
+	data, _ := os.ReadFile(path)
+	mangled := strings.Replace(string(data), `"trials"`, `"trails"`, 1) // first batch line
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Snapshot(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	s, err := st.Create(testSpec("acme", "ver"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginTranscript(search.AlgRandom, 7, 24); err != nil {
+		t.Fatal(err)
+	}
+	s.AppendBatch([]search.Trial{trial(1)})
+	s.CloseTranscript()
+
+	// Future transcript version.
+	tpath := filepath.Join(s.Dir(), "transcript.jsonl")
+	data, _ := os.ReadFile(tpath)
+	future := strings.Replace(string(data), `"version":1`, `"version":99`, 1)
+	os.WriteFile(tpath, []byte(future), 0o644)
+	if _, _, err := s.Snapshot(); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("future transcript: %v, want ErrVersionMismatch", err)
+	}
+
+	// Future spec version.
+	spath := filepath.Join(s.Dir(), "spec.json")
+	sdata, _ := os.ReadFile(spath)
+	sfuture := strings.Replace(string(sdata), `"format_version":1`, `"format_version":99`, 1)
+	os.WriteFile(spath, []byte(sfuture), 0o644)
+	if _, err := st.Get("acme", "ver"); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("future spec: %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestListSortedAndResilient(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	for _, pair := range [][2]string{{"zeta", "a"}, {"acme", "b"}, {"acme", "a"}} {
+		if _, err := st.Create(testSpec(pair[0], pair[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One broken study must not hide the others.
+	bad := filepath.Join(st.Root(), "acme", "broken")
+	os.MkdirAll(bad, 0o755)
+	os.WriteFile(filepath.Join(bad, "spec.json"), []byte("not json"), 0o644)
+
+	studies, err := st.List()
+	if err == nil {
+		t.Error("List with a corrupt study must report it")
+	}
+	var got []string
+	for _, s := range studies {
+		got = append(got, s.Spec().Tenant+"/"+s.Spec().ID)
+	}
+	want := []string{"acme/a", "acme/b", "zeta/a"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSnapshotRestores closes the loop with the search layer: a stored
+// transcript of a real optimizer restores into a working optimizer.
+func TestSnapshotRestores(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	s, err := st.Create(testSpec("acme", "restore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := search.New(search.AlgLCS, 7, 24)
+	if err := s.BeginTranscript(search.AlgLCS, 7, 24); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		asked := opt.Ask(8)
+		batch := make([]search.Trial, len(asked))
+		for i, idx := range asked {
+			batch[i] = search.Trial{Index: idx, Evaluation: search.Evaluation{Value: float64(i), Feasible: true}}
+		}
+		opt.Tell(batch)
+		if _, err := s.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.CloseTranscript()
+
+	snap, _, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := search.Restore(snap)
+	if err != nil {
+		t.Fatalf("stored transcript does not restore: %v", err)
+	}
+	a, b := opt.(search.Snapshotter).Snapshot(), restored.Snapshot()
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatal("restored transcript length differs")
+	}
+	next, orig := restored.Ask(8), opt.Ask(8)
+	for i := range next {
+		if next[i] != orig[i] {
+			t.Fatalf("restored optimizer diverges at proposal %d", i)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# docs_smoke.sh — execute the curl examples in docs/API.md against a
+# real fast-serve daemon, exactly as written. Every fenced block tagged
+# `bash doc-smoke` in the doc is extracted and run, in order, in one
+# shell with $BASE pointing at a freshly started daemon on a temp data
+# directory. CI runs this (the serve-smoke job), so the examples in the
+# API reference cannot drift from the server's actual behavior.
+#
+# Knobs:
+#   DOCS_SMOKE_DOC=docs/API.md    # document to extract blocks from
+#   DOCS_SMOKE_KEEP=1             # keep the temp dir (daemon log, data)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=${DOCS_SMOKE_DOC:-docs/API.md}
+
+work=$(mktemp -d)
+cleanup() {
+	if [ -n "${server_pid:-}" ]; then
+		kill "$server_pid" 2>/dev/null || true
+		wait "$server_pid" 2>/dev/null || true
+	fi
+	if [ "${DOCS_SMOKE_KEEP:-0}" = "1" ]; then
+		echo "docs_smoke: kept $work"
+	else
+		rm -rf "$work"
+	fi
+}
+trap cleanup EXIT
+
+echo "docs_smoke: extracting doc-smoke blocks from $DOC"
+awk '/^```bash doc-smoke$/ { grab = 1; next } /^```$/ { grab = 0 } grab' \
+	"$DOC" > "$work/blocks.sh"
+if ! [ -s "$work/blocks.sh" ]; then
+	echo "docs_smoke: FAIL — no doc-smoke blocks found in $DOC" >&2
+	exit 1
+fi
+
+echo "docs_smoke: building fast-serve"
+go build -o "$work/fast-serve" ./cmd/fast-serve
+
+# Start the daemon on a random loopback port, retrying on collisions.
+server_pid=
+for _ in 1 2 3 4 5; do
+	port=$((20000 + RANDOM % 20000))
+	"$work/fast-serve" -addr "127.0.0.1:$port" -data "$work/studies" \
+		>"$work/server.log" 2>&1 &
+	server_pid=$!
+	for _ in $(seq 1 50); do
+		if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+			break 2
+		fi
+		if ! kill -0 "$server_pid" 2>/dev/null; then
+			server_pid= # port taken (or crashed); try another
+			break
+		fi
+		sleep 0.1
+	done
+	if [ -n "$server_pid" ]; then
+		kill "$server_pid" 2>/dev/null || true
+		server_pid=
+	fi
+done
+if [ -z "$server_pid" ]; then
+	echo "docs_smoke: FAIL — daemon did not come up" >&2
+	cat "$work/server.log" >&2 || true
+	exit 1
+fi
+
+echo "docs_smoke: daemon up on port $port, running examples"
+if ! BASE="http://127.0.0.1:$port" bash -euo pipefail "$work/blocks.sh"; then
+	echo "docs_smoke: FAIL — a documented example did not behave as documented" >&2
+	echo "docs_smoke: daemon log:" >&2
+	cat "$work/server.log" >&2 || true
+	exit 1
+fi
+
+echo "docs_smoke: OK ($(grep -c '^curl' "$work/blocks.sh") documented curl calls ran)"

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# linkcheck.sh — keep the documentation anchored to the tree. Three
+# checks over README.md and docs/*.md (lint.sh runs this; CI's lint job
+# inherits it):
+#
+#   1. Every relative markdown link [text](path) resolves to a file or
+#      directory in the repo (http(s) and #anchor links are skipped).
+#   2. Every `path/file.go:line` pointer names a file that exists and
+#      has at least that many lines — a refactor that moves an anchor
+#      breaks the doc build, not the reader.
+#   3. Every metric registered in internal/serve/metrics.go appears in
+#      docs/OPERATIONS.md's catalog, and vice versa.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+docs=(README.md docs/*.md)
+
+echo "linkcheck: markdown links"
+for doc in "${docs[@]}"; do
+	dir=$(dirname "$doc")
+	# Pull out (target) of every [text](target); one per line.
+	while IFS= read -r target; do
+		case "$target" in
+		http://* | https://* | "#"*) continue ;;
+		esac
+		path=${target%%#*}
+		[ -z "$path" ] && continue
+		if ! [ -e "$dir/$path" ] && ! [ -e "$path" ]; then
+			echo "linkcheck: FAIL — $doc links to missing $target" >&2
+			fail=1
+		fi
+	done < <(grep -oE '\[[^][]*\]\([^()[:space:]]+\)' "$doc" | sed -E 's/.*\(([^()]*)\)/\1/')
+done
+
+echo "linkcheck: file:line pointers"
+for doc in "${docs[@]}"; do
+	while IFS=: read -r file line; do
+		if ! [ -f "$file" ]; then
+			echo "linkcheck: FAIL — $doc points at missing file $file" >&2
+			fail=1
+		elif [ "$(wc -l < "$file")" -lt "$line" ]; then
+			echo "linkcheck: FAIL — $doc points at $file:$line, past EOF" >&2
+			fail=1
+		fi
+	done < <(grep -oE '`(cmd|internal|scripts)/[A-Za-z0-9_/.-]+\.go:[0-9]+' "$doc" | tr -d '\140')
+done
+
+echo "linkcheck: metrics catalog sync"
+while IFS= read -r m; do
+	if ! grep -q "$m" docs/OPERATIONS.md; then
+		echo "linkcheck: FAIL — metric $m registered but not documented in docs/OPERATIONS.md" >&2
+		fail=1
+	fi
+done < <(grep -oE '"(fastserve|fast_plan_cache)_[a-z_]+"' internal/serve/metrics.go | tr -d '"' | sort -u)
+while IFS= read -r m; do
+	if ! grep -q "\"$m\"" internal/serve/metrics.go; then
+		echo "linkcheck: FAIL — docs/OPERATIONS.md documents $m, which is not registered" >&2
+		fail=1
+	fi
+done < <(grep -oE '`(fastserve|fast_plan_cache)_[a-z_]+`' docs/OPERATIONS.md | tr -d '\140' | sort -u)
+
+if [ "$fail" != 0 ]; then
+	echo "linkcheck: FAIL" >&2
+	exit 1
+fi
+echo "linkcheck: OK"

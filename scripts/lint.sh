@@ -4,9 +4,11 @@
 #
 #   1. fastlint    — the in-tree static-analysis suite (cmd/fastlint):
 #                    stage-cache mask soundness and determinism invariants
-#   2. staticcheck — general Go correctness/style checks
-#   3. govulncheck — known-vulnerability scan
-#   4. shellcheck  — over scripts/*.sh
+#   2. linkcheck   — docs stay anchored: markdown links, file:line
+#                    pointers, and the metrics catalog resolve
+#   3. staticcheck — general Go correctness/style checks
+#   4. govulncheck — known-vulnerability scan
+#   5. shellcheck  — over scripts/*.sh
 #
 # fastlint always runs: it builds from this module and needs nothing
 # installed. The external tools run when present on PATH; set
@@ -18,6 +20,8 @@ STRICT=${LINT_STRICT:-0}
 
 echo "lint: fastlint"
 go run ./cmd/fastlint ./...
+
+bash scripts/linkcheck.sh
 
 run_tool() {
 	local name=$1
