@@ -18,6 +18,16 @@
 //	fast-search -multi -algorithm bayesian -trials 1000 -seed 7 -parallel 8
 //	fast-search -objectives perf,tdp,area -trials 500
 //	fast-search -objectives perf-per-tdp,area -json > front.json
+//
+// Evaluation can be sharded across fast-worker processes: -workers N
+// spawns N local subprocess workers, -connect host:port,... reaches
+// workers started with `fast-worker -listen`. The trial transcript is
+// bit-identical to the in-process run at any worker count; worker
+// crashes are retried, stragglers hedged, and a fully lost pool
+// degrades to in-process evaluation (the study still completes).
+//
+//	fast-search -workloads mobilenetv2 -workers 4
+//	fast-search -connect 10.0.0.5:9000,10.0.0.6:9000 -trials 1000
 package main
 
 import (
@@ -33,6 +43,8 @@ import (
 	"time"
 
 	"fast"
+	"fast/internal/dispatch"
+	"fast/internal/dispatch/chaos"
 )
 
 func main() {
@@ -50,6 +62,10 @@ func main() {
 		progress   = flag.Int("progress", 0, "print the running best every N trials (0 = off)")
 		latency    = flag.Float64("latency-ms", 0, "optional per-batch latency bound in ms (e.g. 15 for MLPerf)")
 		save       = flag.String("save", "", "write the best design to this JSON file")
+		workers    = flag.Int("workers", 0, "spawn N fast-worker subprocesses for trial evaluation (0 = in-process)")
+		connect    = flag.String("connect", "", "comma-separated fast-worker TCP addresses (host:port,...)")
+		workerBin  = flag.String("worker-bin", "", "fast-worker binary for -workers (default: next to this binary, then PATH)")
+		chaosPlan  = flag.Bool("chaos", false, "inject the standard fault plan into worker connections (benchmarking/testing)")
 	)
 	flag.Parse()
 
@@ -105,7 +121,48 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Remote evaluation: spawn or connect the worker pool before the
+	// study starts. With a pool and no explicit -parallel, drive one
+	// chunk per worker so every worker stays busy.
+	var pool *dispatch.Pool
+	if *workers > 0 || *connect != "" {
+		popts := dispatch.Options{
+			Workers: *workers,
+			Logf: func(f string, a ...any) {
+				fmt.Fprintf(os.Stderr, "dispatch: "+f+"\n", a...)
+			},
+		}
+		if *connect != "" {
+			popts.Connect = strings.Split(*connect, ",")
+		} else {
+			bin, err := dispatch.ResolveWorkerBin(*workerBin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fast-search:", err)
+				os.Exit(2)
+			}
+			popts.WorkerCmd = []string{bin}
+		}
+		if *chaosPlan {
+			plan := chaos.Standard()
+			popts.WrapDialer = plan.Wrap
+			fmt.Fprintf(status, "chaos: injecting fault plan %q into worker connections\n", plan.Name)
+		}
+		var err error
+		pool, err = dispatch.New(popts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fast-search:", err)
+			os.Exit(2)
+		}
+		defer pool.Close()
+		if *parallel == 0 {
+			*parallel = pool.Size()
+		}
+	}
+
 	opts := []fast.Option{fast.WithParallelism(*parallel)}
+	if pool != nil {
+		opts = append(opts, fast.WithDispatch(pool.Dispatch()))
+	}
 	if *progress > 0 {
 		// Trial.Value is maximize-oriented: for a minimization first
 		// objective (tdp, area) it is the negated metric, so track the
@@ -147,6 +204,12 @@ func main() {
 	fmt.Fprintf(status, "done in %.1fs (%.1f trials/s); %d/%d trials feasible\n\n",
 		elapsed, float64(done)/elapsed,
 		int(res.Search.FeasibleRate()*float64(done)), done)
+	if pool != nil {
+		ds := pool.Stats()
+		fmt.Fprintf(status, "dispatch: %d/%d workers live, %d points in %d chunks remote; retries=%d hedges=%d respawns=%d degraded=%d\n\n",
+			ds.LiveWorkers, ds.Workers, ds.RemotePoints, ds.RemoteChunks,
+			ds.Retries, ds.Hedges, ds.Respawns, ds.DegradedChunks)
+	}
 	if objs != nil {
 		reportFront(objs, res, canceled, *jsonOut, *save)
 		if canceled {

@@ -21,10 +21,18 @@
 // the same directory — running studies come back as "interrupted" and
 // resume exactly where the last durable batch left off.
 //
+// Trial evaluation can be sharded across fast-worker processes:
+// -workers N spawns N local subprocess workers, -connect host:port,...
+// reaches workers started with `fast-worker -listen`. Every study's
+// transcript stays bit-identical to in-process evaluation; a lost pool
+// degrades to in-process and dispatch health is visible at /debug/vars
+// (fast_dispatch_* metrics).
+//
 // Usage:
 //
 //	fast-serve -addr :8080 -data /var/lib/fast
 //	fast-serve -data ./studies -parallel 8 -cache-entries 64 -cache-bytes 268435456
+//	fast-serve -data ./studies -workers 4
 package main
 
 import (
@@ -36,10 +44,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"fast"
+	"fast/internal/dispatch"
+	"fast/internal/obsv"
 	"fast/internal/serve"
 	"fast/internal/store"
 )
@@ -54,6 +65,9 @@ func main() {
 		maxTrials    = flag.Int("max-trials", 2000, "trial budget allowed per study")
 		cacheEntries = flag.Int("cache-entries", 0, "plan cache entry budget (0 = unbounded)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "plan cache byte budget (0 = unbounded)")
+		workers      = flag.Int("workers", 0, "spawn N fast-worker subprocesses for trial evaluation (0 = in-process)")
+		connect      = flag.String("connect", "", "comma-separated fast-worker TCP addresses (host:port,...)")
+		workerBin    = flag.String("worker-bin", "", "fast-worker binary for -workers (default: next to this binary, then PATH)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -66,14 +80,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := serve.New(serve.Config{
+
+	// Remote evaluation pool, shared by every study; its fast_dispatch_*
+	// metrics surface on the same /debug/vars registry as the daemon's.
+	reg := obsv.NewRegistry()
+	cfg := serve.Config{
 		Store:               st,
+		Metrics:             reg,
 		MaxStudiesPerTenant: *maxStudies,
 		MaxActivePerTenant:  *maxActive,
 		MaxTrialsPerStudy:   *maxTrials,
 		Parallelism:         *parallel,
 		Logf:                log.Printf,
-	})
+	}
+	var pool *dispatch.Pool
+	if *workers > 0 || *connect != "" {
+		popts := dispatch.Options{Workers: *workers, Logf: log.Printf}
+		if *connect != "" {
+			popts.Connect = strings.Split(*connect, ",")
+		} else {
+			bin, err := dispatch.ResolveWorkerBin(*workerBin)
+			if err != nil {
+				fatal(err)
+			}
+			popts.WorkerCmd = []string{bin}
+		}
+		pool, err = dispatch.New(popts)
+		if err != nil {
+			fatal(err)
+		}
+		defer pool.Close()
+		pool.RegisterMetrics(reg)
+		cfg.Dispatch = pool.Dispatch()
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = pool.Size()
+		}
+		log.Printf("level=info msg=\"dispatch pool up\" workers=%d connect=%q", pool.Size(), *connect)
+	}
+
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,14 +137,19 @@ func main() {
 		log.Printf("level=info msg=shutdown signal=%s", s)
 	}
 
-	// Graceful stop: stop accepting, cancel running studies (their
-	// checkpoints stand; they restart as "interrupted"), drain.
+	// Graceful stop, drain first: srv.Close cancels running studies and
+	// returns only when every in-flight study is durably checkpointed
+	// and marked interrupted (resumable), and every SSE stream has been
+	// sent its terminal "shutdown" frame. Only then does the HTTP server
+	// shut down — with no streams left open it returns promptly, and no
+	// client can observe a dead socket before learning the server went
+	// away on purpose.
+	srv.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("level=warn msg=\"http shutdown\" err=%q", err)
 	}
-	srv.Close()
 }
 
 func fatal(err error) {

@@ -182,6 +182,16 @@ func WithProgress(f func(Trial)) Option { return core.WithProgress(f) }
 // them, multi-objective studies keep them off the Pareto front.
 func WithBudget(b Budget) Option { return core.WithBudget(b) }
 
+// DispatchFunc interposes on a Run's batch evaluation — the remote
+// worker-pool seam (see internal/dispatch). A dispatcher changes where
+// evaluations execute, never what they return.
+type DispatchFunc = core.DispatchFunc
+
+// WithDispatch routes one Run's batch evaluation through f, keeping the
+// in-process evaluator as the fallback. The transcript is bit-identical
+// to an undispatched run at any worker count.
+func WithDispatch(f DispatchFunc) Option { return core.WithDispatch(f) }
+
 // Snapshot is a checkpoint of an optimizer's state: its constructor
 // parameters plus the full ask/tell transcript. Optimizer state evolves
 // only through that transcript, so the snapshot restores the search

@@ -33,6 +33,9 @@ var Scope = []string{
 	"fast/internal/ilp",
 	"fast/internal/fusion",
 	"fast/internal/experiments",
+	// dispatch folds worker replies back into positional result slots;
+	// map iteration there must never decide anything observable.
+	"fast/internal/dispatch",
 }
 
 // Analyzer is the detrange pass.

@@ -36,6 +36,11 @@ var Scope = []string{
 	"fast/internal/hlo",
 	"fast/internal/tensor",
 	"fast/internal/arch",
+	// dispatch ships evaluation chunks to remote workers; its timer and
+	// liveness seams are real nondeterminism sources, so every one must
+	// carry an audited //fast:allow directive explaining why it cannot
+	// reach the transcript.
+	"fast/internal/dispatch",
 }
 
 // Analyzer is the nondetsource pass.

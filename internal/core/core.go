@@ -205,6 +205,7 @@ type runConfig struct {
 	budget      *power.Budget
 	onBatch     func([]search.Trial)
 	resume      *search.Snapshot
+	dispatch    DispatchFunc
 }
 
 // WithParallelism bounds concurrent design evaluations. n <= 0 (the
@@ -293,6 +294,9 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	// The options fingerprint is constant across the study; render it
 	// once so the per-trial hot path only does a map lookup.
 	objective, batchObjective := s.makeObjectives(base, pm, budget, simOpts, simOpts.Fingerprint())
+	if rc.dispatch != nil {
+		batchObjective = rc.dispatch(s.evalSpec(base, budget, simOpts), batchObjective)
+	}
 
 	alg := s.Algorithm
 	if alg == "" {

@@ -1,0 +1,166 @@
+package core
+
+// The remote-evaluation seam.
+//
+// A Study's evaluation behaviour — which Evaluation every index vector
+// maps to — is fully determined by a handful of resolved values:
+// workloads, objective kinds, the latency bound, the base platform, the
+// budget envelope, and the simulator options (power model included).
+// EvalSpec captures exactly those values in a JSON-serializable form, so
+// a separate process can rebuild the *same* batch evaluator with
+// BuildBatchEvaluator and return bit-identical Evaluations: float64
+// round-trips exactly through encoding/json's shortest-representation
+// encoding, and the evaluator itself is deterministic per index vector.
+// That is the whole correctness contract of internal/dispatch — the
+// dispatcher ships (spec, index vectors) out, folds result vectors back
+// positionally, and the Runner's transcript cannot tell the difference.
+//
+// WithDispatch installs a dispatcher into one Run: after Run resolves
+// its defaults and builds the in-process closures, the DispatchFunc may
+// wrap the batch objective (keeping the in-process one as its fallback).
+// Nothing else in the engine changes, so every determinism property of
+// the Runner (ask order, tell order, memoization) is inherited as-is.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"fast/internal/arch"
+	"fast/internal/models"
+	"fast/internal/power"
+	"fast/internal/search"
+	"fast/internal/sim"
+)
+
+// EvalSpec is the wire-serializable description of one study's
+// evaluation semantics: everything a remote evaluator needs to map
+// index vectors to Evaluations, and nothing about the optimizer (the
+// ask/tell transcript never leaves the dispatching process).
+type EvalSpec struct {
+	// Workloads are the canonical model names (geomean-folded).
+	Workloads []string `json:"workloads"`
+	// Objective names the scalar target; empty when Objectives is set.
+	Objective string `json:"objective,omitempty"`
+	// Objectives names the multi-objective targets, in order.
+	Objectives []string `json:"objectives,omitempty"`
+	// LatencyBoundSec is the optional per-batch latency bound.
+	LatencyBoundSec float64 `json:"latency_bound_sec,omitempty"`
+	// Base is the resolved platform configuration.
+	Base *arch.Config `json:"base"`
+	// Budget is the resolved constraint envelope.
+	Budget power.Budget `json:"budget"`
+	// SimOptions are the resolved simulator options, power model
+	// included (Run sets SimOptions.PowerModel before dispatching).
+	SimOptions sim.Options `json:"sim_options"`
+}
+
+// evalSpec assembles the study's EvalSpec from Run's resolved values.
+func (s *Study) evalSpec(base *arch.Config, budget power.Budget, simOpts sim.Options) EvalSpec {
+	sp := EvalSpec{
+		Workloads:       s.Workloads,
+		LatencyBoundSec: s.LatencyBoundSec,
+		Base:            base,
+		Budget:          budget,
+		SimOptions:      simOpts,
+	}
+	if len(s.Objectives) > 0 {
+		for _, o := range s.Objectives {
+			sp.Objectives = append(sp.Objectives, o.String())
+		}
+	} else {
+		sp.Objective = s.Objective.String()
+	}
+	return sp
+}
+
+// Marshal renders the spec as canonical JSON (the wire and fingerprint
+// form; encoding/json field order is fixed, so equal specs render equal
+// bytes).
+func (sp EvalSpec) Marshal() ([]byte, error) { return json.Marshal(sp) }
+
+// FingerprintSpec names a marshaled spec by content: remote evaluators
+// cache compiled evaluators under this key, and verify it against the
+// bytes they received before trusting a frame.
+func FingerprintSpec(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildBatchEvaluator compiles a spec into the study's batch objective —
+// the same closure Run builds in-process, from the same constructors, so
+// the two cannot diverge. The returned evaluator is safe for concurrent
+// use and deterministic per index vector; compiled plans go through the
+// process-wide plan cache.
+func BuildBatchEvaluator(sp EvalSpec) (search.BatchObjective, error) {
+	if len(sp.Workloads) == 0 {
+		return nil, fmt.Errorf("core: eval spec needs at least one workload")
+	}
+	for _, w := range sp.Workloads {
+		if err := models.Validate(w); err != nil {
+			return nil, err
+		}
+	}
+	if sp.Base == nil {
+		return nil, fmt.Errorf("core: eval spec needs a base platform")
+	}
+	st := &Study{Workloads: sp.Workloads, LatencyBoundSec: sp.LatencyBoundSec}
+	if len(sp.Objectives) > 0 {
+		seen := map[ObjectiveKind]bool{}
+		for _, name := range sp.Objectives {
+			o, err := ParseObjective(name)
+			if err != nil {
+				return nil, err
+			}
+			if seen[o] {
+				return nil, fmt.Errorf("core: duplicate objective %s", o)
+			}
+			seen[o] = true
+			st.Objectives = append(st.Objectives, o)
+		}
+	} else {
+		o, err := ParseObjective(sp.Objective)
+		if err != nil {
+			return nil, err
+		}
+		if !o.Maximize() {
+			return nil, fmt.Errorf("core: scalar studies maximize perf or perf-per-tdp; got %s", o)
+		}
+		st.Objective = o
+	}
+
+	simOpts := sp.SimOptions
+	pm := simOpts.PowerModel
+	if pm == nil {
+		pm = power.Default()
+		simOpts.PowerModel = pm
+	}
+	budget := sp.Budget
+	if budget.MaxTDPW == 0 {
+		budget = power.DefaultBudget(pm)
+	}
+	if len(st.Objectives) > 0 {
+		_, batch := st.makeMultiObjectives(sp.Base, pm, budget, simOpts, simOpts.Fingerprint())
+		return batch, nil
+	}
+	_, batch := st.makeObjectives(sp.Base, pm, budget, simOpts, simOpts.Fingerprint())
+	return batch, nil
+}
+
+// DispatchFunc lets a dispatcher interpose on a Run's batch evaluation:
+// it receives the study's resolved EvalSpec and the in-process batch
+// objective (the semantic ground truth and the degradation fallback) and
+// returns the batch objective the Runner will call. Implementations must
+// preserve the BatchObjective contract — exactly one Evaluation per
+// index vector, positionally aligned, equal to what the local objective
+// would have returned.
+type DispatchFunc func(spec EvalSpec, local search.BatchObjective) search.BatchObjective
+
+// WithDispatch routes one Run's batch evaluation through f (see
+// internal/dispatch for the worker-pool implementation). Dispatch is
+// pure mechanism: it changes where evaluations execute, never what they
+// return, so transcripts stay bit-identical to in-process runs.
+func WithDispatch(f DispatchFunc) Option {
+	return func(c *runConfig) { c.dispatch = f }
+}

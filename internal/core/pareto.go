@@ -78,6 +78,9 @@ func (s *Study) runMulti(ctx context.Context, rc runConfig, base *arch.Config, p
 	}
 
 	objective, batchObjective := s.makeMultiObjectives(base, pm, budget, simOpts, simOpts.Fingerprint())
+	if rc.dispatch != nil {
+		batchObjective = rc.dispatch(s.evalSpec(base, budget, simOpts), batchObjective)
+	}
 
 	alg := s.Algorithm
 	if alg == "" {

@@ -1,0 +1,302 @@
+package dispatch_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fast/internal/core"
+	"fast/internal/dispatch"
+	"fast/internal/dispatch/chaos"
+	"fast/internal/search"
+)
+
+// The differential contract under test: a study dispatched to remote
+// workers — any count, any fault plan — produces a StudyResult
+// bit-identical to the in-process run. History, best design, and
+// Pareto front all come from the optimizer transcript, so if any fault
+// leaked into evaluation or fold order, these comparisons break.
+
+type studyCase struct {
+	name  string
+	study func() *core.Study
+}
+
+func studyCases() []studyCase {
+	return []studyCase{
+		{"scalar-lcs", func() *core.Study {
+			return &core.Study{
+				Workloads: []string{"mobilenetv2"},
+				Objective: core.PerfPerTDP,
+				Algorithm: search.AlgLCS,
+				Trials:    32,
+				Seed:      7,
+			}
+		}},
+		{"multi-nsga2", func() *core.Study {
+			return &core.Study{
+				Workloads:  []string{"mobilenetv2"},
+				Objectives: []core.ObjectiveKind{core.PerfPerTDP, core.Area},
+				Algorithm:  search.AlgNSGA2,
+				Trials:     32,
+				Seed:       7,
+				FrontCap:   8,
+			}
+		}},
+	}
+}
+
+// refMu guards refResults: one in-process reference run per study
+// shape, shared by every differential subtest.
+var (
+	refMu      sync.Mutex
+	refResults = map[string]*core.StudyResult{}
+)
+
+func reference(t *testing.T, tc studyCase) *core.StudyResult {
+	t.Helper()
+	refMu.Lock()
+	defer refMu.Unlock()
+	if r, ok := refResults[tc.name]; ok {
+		return r
+	}
+	r, err := tc.study().Run(context.Background(), core.WithParallelism(4), core.WithBatchSize(16))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refResults[tc.name] = r
+	return r
+}
+
+func runDispatched(t *testing.T, tc studyCase, p *dispatch.Pool) *core.StudyResult {
+	t.Helper()
+	got, err := tc.study().Run(context.Background(),
+		core.WithParallelism(4), core.WithBatchSize(16), core.WithDispatch(p.Dispatch()))
+	if err != nil {
+		t.Fatalf("dispatched run: %v", err)
+	}
+	return got
+}
+
+// sameResult asserts bit-identity of everything deterministic in a
+// study result: the full trial history in tell order, the best trial
+// and decoded design, and the Pareto front's indices and values.
+func sameResult(t *testing.T, label string, want, got *core.StudyResult) {
+	t.Helper()
+	if len(want.Search.History) != len(got.Search.History) {
+		t.Fatalf("%s: history length %d, want %d", label, len(got.Search.History), len(want.Search.History))
+	}
+	for i := range want.Search.History {
+		if !want.Search.History[i].Equal(got.Search.History[i]) {
+			t.Fatalf("%s: trial %d differs:\n  want %+v\n  got  %+v",
+				label, i, want.Search.History[i], got.Search.History[i])
+		}
+	}
+	if !want.Search.Best.Equal(got.Search.Best) {
+		t.Fatalf("%s: best trial differs", label)
+	}
+	if want.BestValue != got.BestValue {
+		t.Fatalf("%s: best value %v, want %v", label, got.BestValue, want.BestValue)
+	}
+	if (want.Best == nil) != (got.Best == nil) {
+		t.Fatalf("%s: best design presence differs", label)
+	}
+	if want.Best != nil && *want.Best != *got.Best {
+		t.Fatalf("%s: best design differs", label)
+	}
+	wf, gf := want.Front(), got.Front()
+	if len(wf) != len(gf) {
+		t.Fatalf("%s: front size %d, want %d", label, len(gf), len(wf))
+	}
+	for i := range wf {
+		if wf[i].Index != gf[i].Index {
+			t.Fatalf("%s: front point %d index differs: %v vs %v", label, i, gf[i].Index, wf[i].Index)
+		}
+		for k := range wf[i].Values {
+			if wf[i].Values[k] != gf[i].Values[k] {
+				t.Fatalf("%s: front point %d value %d differs: %v vs %v",
+					label, i, k, gf[i].Values[k], wf[i].Values[k])
+			}
+		}
+	}
+}
+
+// fastOpts returns pool options tuned for test speed: quick hedges,
+// short deadlines, generous respawn budget (chaos kills a lot).
+func fastOpts(workers int) dispatch.Options {
+	return dispatch.Options{
+		Workers:        workers,
+		Dialer:         dispatch.LoopbackDialer(),
+		ChunkTimeout:   2 * time.Second,
+		HedgeAfter:     100 * time.Millisecond,
+		RetryBaseDelay: 10 * time.Millisecond,
+		RetryMaxDelay:  50 * time.Millisecond,
+		MaxAttempts:    6,
+		HeartbeatEvery: 50 * time.Millisecond,
+		HeartbeatMiss:  500 * time.Millisecond,
+		RespawnBudget:  200,
+		Seed:           1,
+	}
+}
+
+// TestDifferentialWorkerCounts proves the headline invariant on clean
+// connections: 1, 2, and 4 workers all reproduce the in-process study
+// bit-for-bit, for scalar and multi-objective optimizers, with every
+// chunk actually evaluated remotely.
+func TestDifferentialWorkerCounts(t *testing.T) {
+	for _, tc := range studyCases() {
+		want := reference(t, tc)
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(tc.name+"/workers"+string(rune('0'+workers)), func(t *testing.T) {
+				p, err := dispatch.New(fastOpts(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				got := runDispatched(t, tc, p)
+				sameResult(t, tc.name, want, got)
+				st := p.Stats()
+				if st.RemoteChunks == 0 || st.RemotePoints == 0 {
+					t.Fatalf("no remote evaluation happened: %+v", st)
+				}
+				if st.DegradedChunks != 0 {
+					t.Fatalf("clean pool degraded %d chunks: %+v", st.DegradedChunks, st)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialChaos is the fault-plan differential: every chaos
+// plan — delays, drops, duplicates, corruption, mid-send kills, connect
+// refusals, and all of them at once — perturbs scheduling, retries,
+// hedging, and respawns, and the study result must not move a bit.
+func TestDifferentialChaos(t *testing.T) {
+	for _, tc := range studyCases() {
+		want := reference(t, tc)
+		for _, plan := range chaos.Plans() {
+			plan := plan
+			t.Run(tc.name+"/"+plan.Name, func(t *testing.T) {
+				opts := fastOpts(2)
+				opts.WrapDialer = plan.Wrap
+				p, err := dispatch.New(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+				got := runDispatched(t, tc, p)
+				sameResult(t, tc.name+"/"+plan.Name, want, got)
+				st := p.Stats()
+				t.Logf("plan %s: %+v", plan.Name, st)
+				if plan.ConnectRefusals > 0 && st.DialFails < int64(plan.ConnectRefusals) {
+					t.Fatalf("refusal plan saw %d dial failures, want >= %d", st.DialFails, plan.ConnectRefusals)
+				}
+				if plan.CorruptProb >= 0.05 && st.Corrupt == 0 {
+					t.Fatalf("corrupt plan injected no observed corruption: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// dieAfterDialer wraps the loopback so each connection dies after n
+// received frames, with a cap on total successful dials — the pool
+// loses every worker mid-study and must degrade to in-process
+// evaluation rather than stall or fail.
+type countingTransport struct {
+	dispatch.Transport
+	left int
+}
+
+func (t *countingTransport) Recv() ([]byte, error) {
+	if t.left <= 0 {
+		t.Transport.Close() //nolint:errcheck // simulated death
+		return nil, errors.New("test: connection expired")
+	}
+	t.left--
+	return t.Transport.Recv()
+}
+
+// TestTotalPoolLossDegrades kills every connection after a few frames
+// with no respawn budget: the pool dies mid-study, and the study must
+// complete bit-identically via the in-process fallback, reporting
+// degraded chunks.
+func TestTotalPoolLossDegrades(t *testing.T) {
+	tc := studyCases()[0]
+	want := reference(t, tc)
+
+	inner := dispatch.LoopbackDialer()
+	opts := fastOpts(2)
+	opts.RespawnBudget = -1 // no respawns: first death retires the slot
+	opts.WrapDialer = func(d dispatch.Dialer) dispatch.Dialer {
+		return func(slot, attempt int) (dispatch.Transport, error) {
+			tr, err := inner(slot, attempt)
+			if err != nil {
+				return nil, err
+			}
+			return &countingTransport{Transport: tr, left: 3}, nil
+		}
+	}
+	p, err := dispatch.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got := runDispatched(t, tc, p)
+	sameResult(t, "total-pool-loss", want, got)
+	st := p.Stats()
+	t.Logf("total-pool-loss: %+v", st)
+	if st.DegradedChunks == 0 {
+		t.Fatalf("expected degraded chunks after total pool loss: %+v", st)
+	}
+	if st.LiveWorkers != 0 {
+		t.Fatalf("expected all workers retired, got %d live", st.LiveWorkers)
+	}
+}
+
+// silentTransport connects but never replies; Send succeeds, Recv
+// blocks until Close.
+type silentTransport struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func (s *silentTransport) Send([]byte) error { return nil }
+func (s *silentTransport) Recv() ([]byte, error) {
+	<-s.done
+	return nil, errors.New("test: closed")
+}
+func (s *silentTransport) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return nil
+}
+
+// TestHeartbeatReapsSilentWorker connects a worker that never answers:
+// the idle-probe heartbeat must detect the silence and kill the
+// connection without any study traffic.
+func TestHeartbeatReapsSilentWorker(t *testing.T) {
+	opts := dispatch.Options{
+		Workers: 1,
+		Dialer: func(slot, attempt int) (dispatch.Transport, error) {
+			return &silentTransport{done: make(chan struct{})}, nil
+		},
+		HeartbeatEvery: 10 * time.Millisecond,
+		HeartbeatMiss:  50 * time.Millisecond,
+		RespawnBudget:  -1,
+	}
+	p, err := dispatch.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := p.Stats(); st.LiveWorkers == 0 {
+			return // reaped and retired via the heartbeat path
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("heartbeat never reaped the silent worker: %+v", p.Stats())
+}

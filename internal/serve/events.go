@@ -18,6 +18,12 @@ type eventHub struct {
 	mu     sync.Mutex
 	subs   map[chan event]struct{}
 	closed bool
+	// terminal names the stream's closing SSE frame: "done" for a study
+	// reaching a terminal state, "shutdown" when the server is going
+	// away with the study checkpointed-and-paused — clients use the
+	// difference to decide between "render the result" and "reconnect
+	// and resume later".
+	terminal string
 }
 
 // event is one SSE frame: a name and a JSON-marshalable payload.
@@ -68,17 +74,34 @@ func (h *eventHub) publish(e event) {
 }
 
 // close ends every subscription; the SSE handlers see their channels
-// close and finish their responses. Terminal states close the hub.
-func (h *eventHub) close() {
+// close and finish their responses with a "done" frame. Terminal
+// states close the hub.
+func (h *eventHub) close() { h.closeWith("done") }
+
+// closeWith is close with an explicit closing-frame name. The first
+// close wins; later calls (including plain close) are no-ops.
+func (h *eventHub) closeWith(terminal string) {
 	h.mu.Lock()
 	if !h.closed {
 		h.closed = true
+		h.terminal = terminal
 		for ch := range h.subs {
 			delete(h.subs, ch)
 			close(ch)
 		}
 	}
 	h.mu.Unlock()
+}
+
+// terminalName reports the closing-frame name ("done" until the hub is
+// closed with something else).
+func (h *eventHub) terminalName() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed && h.terminal != "" {
+		return h.terminal
+	}
+	return "done"
 }
 
 // sseHeartbeat keeps idle streams alive through proxies.
@@ -92,7 +115,8 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, st *study) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	ch, cancel := s.hubOf(st).subscribe()
+	hub := s.hubOf(st)
+	ch, cancel := hub.subscribe()
 	defer cancel()
 	s.metrics.sseClients.Add(1)
 	defer s.metrics.sseClients.Add(-1)
@@ -113,7 +137,12 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, st *study) {
 		select {
 		case e, open := <-ch:
 			if !open {
-				writeSSE(w, event{name: "done", data: s.summary(st)})
+				// Closing frame: "done" for a study that ended,
+				// "shutdown" when the server is draining — either way
+				// the hub close is what ends this handler, so
+				// Server.Close (which closes every hub) never leaves an
+				// SSE response holding http.Server.Shutdown open.
+				writeSSE(w, event{name: hub.terminalName(), data: s.summary(st)})
 				fl.Flush()
 				return
 			}
@@ -123,8 +152,6 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, st *study) {
 			fmt.Fprint(w, ": heartbeat\n\n")
 			fl.Flush()
 		case <-r.Context().Done():
-			return
-		case <-s.baseCtx.Done():
 			return
 		}
 	}

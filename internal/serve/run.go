@@ -136,6 +136,9 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, st *study, 
 	if snap != nil {
 		opts = append(opts, core.WithResume(*snap))
 	}
+	if s.cfg.Dispatch != nil {
+		opts = append(opts, core.WithDispatch(s.cfg.Dispatch))
+	}
 
 	res, runErr := cs.Run(ctx, opts...)
 	if checkpointErr != nil {
@@ -237,7 +240,13 @@ func (s *Server) finish(st *study, hub *eventHub, res *core.StudyResult, runErr 
 	s.cfg.Logf("level=info msg=%s tenant=%s id=%s trials_done=%d err=%q",
 		state, st.tenant, st.id, sum.TrialsDone, sum.Error)
 	hub.publish(event{name: "state", data: sum})
-	hub.close()
+	if state == store.StateInterrupted {
+		// Server shutdown: the study is checkpointed and paused, not
+		// finished — the closing SSE frame says so.
+		hub.closeWith("shutdown")
+	} else {
+		hub.close()
+	}
 }
 
 // countDeadlineHits scans the final report's full-ILP re-simulations

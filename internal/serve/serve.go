@@ -57,6 +57,12 @@ type Config struct {
 	// (default: core's default, one per CPU).
 	Parallelism int
 
+	// Dispatch, when set, routes every study's batch evaluation through
+	// a dispatcher (internal/dispatch's worker pool). Dispatch changes
+	// where evaluations run, never their results, so checkpoints,
+	// resume, and the restart differential are unaffected.
+	Dispatch core.DispatchFunc
+
 	// Logf, when set, receives one structured line per request and per
 	// study state transition.
 	Logf func(format string, args ...any)
@@ -233,6 +239,22 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancelAll()
 	s.wg.Wait()
+	// Every run goroutine has finished: in-flight studies are now
+	// durably checkpointed and marked interrupted. Close the remaining
+	// hubs (idle, queued-never-started, or pre-restart studies) with the
+	// shutdown frame so no SSE subscriber is left waiting — after this
+	// returns, http.Server.Shutdown has no streams to drain.
+	s.mu.Lock()
+	hubs := make([]*eventHub, 0, len(s.studies))
+	for _, st := range s.studies {
+		if st.hub != nil {
+			hubs = append(hubs, st.hub)
+		}
+	}
+	s.mu.Unlock()
+	for _, h := range hubs {
+		h.closeWith("shutdown")
+	}
 }
 
 // slot returns the tenant's concurrency semaphore.

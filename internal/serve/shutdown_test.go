@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrain pins the graceful-shutdown contract: Server.Close
+// returns only after every in-flight study is durably checkpointed and
+// marked interrupted, and every SSE subscriber has received a terminal
+// "shutdown" frame (not "done" — clients must be able to tell a server
+// going away from a study finishing). The HTTP listener is still up
+// when Close returns, mirroring cmd/fast-serve's drain-then-Shutdown
+// order.
+func TestShutdownDrain(t *testing.T) {
+	var midRun sync.Once
+	running := make(chan struct{})
+	ts := newTestServer(t, t.TempDir(), func(c *Config) {
+		c.batchHook = func(string, string) {
+			midRun.Do(func() { close(running) })
+			time.Sleep(2 * time.Millisecond) // keep the study in flight
+		}
+	})
+	defer ts.http.Close()
+	base := ts.http.URL
+
+	doJSON(t, "POST", base+"/v1/studies", map[string]any{
+		"id": "drain", "workloads": []string{"mobilenetv2"},
+		"algorithm": "lcs", "trials": 2000, "seed": 9, "batch_size": 8,
+	}, http.StatusCreated)
+
+	resp, err := http.Get(base + "/v1/studies/drain/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Drain the stream concurrently, remembering the final event name.
+	type streamEnd struct {
+		last string
+		seen map[string]int
+	}
+	endCh := make(chan streamEnd, 1)
+	go func() {
+		end := streamEnd{seen: map[string]int{}}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+				end.seen[name]++
+				end.last = name
+			}
+		}
+		endCh <- end
+	}()
+
+	select {
+	case <-running:
+	case <-time.After(60 * time.Second):
+		t.Fatal("study never started running")
+	}
+
+	// Drain. When Close returns the study must already be terminal.
+	ts.srv.Close()
+
+	// The HTTP server is untouched: status must be queryable and show
+	// the study checkpointed-and-paused, not running.
+	status := doJSON(t, "GET", base+"/v1/studies/drain", nil, http.StatusOK)
+	if got := status["state"]; got != "interrupted" {
+		t.Fatalf("state after Close = %v, want interrupted", got)
+	}
+	if done, ok := status["trials_done"].(float64); !ok || done <= 0 {
+		t.Fatalf("no checkpointed trials recorded: %v", status["trials_done"])
+	}
+
+	// The SSE stream must have ended with the shutdown frame.
+	select {
+	case end := <-endCh:
+		if end.last != "shutdown" {
+			t.Fatalf("stream ended with %q (events %v), want shutdown", end.last, end.seen)
+		}
+		if end.seen["done"] != 0 {
+			t.Fatalf("shutdown stream carried a done frame: %v", end.seen)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SSE stream did not end after Server.Close")
+	}
+}

@@ -1,0 +1,169 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fast/internal/core"
+	"fast/internal/search"
+	"fast/internal/store"
+)
+
+// The torn-write recovery contract: a crash can tear the transcript's
+// final AppendBatch line at ANY byte — the write and its fsync are not
+// atomic from the filesystem's point of view — and recovery must drop
+// exactly that unacknowledged line, keep every acknowledged batch, and
+// resume to a bit-identical study. This test proves it exhaustively:
+// one truncation per byte offset of the final line.
+
+// tornStudy runs a real checkpointed study and returns the reference
+// result, the transcript bytes, and the number of trials per batch.
+func tornStudy(t *testing.T) (*core.StudyResult, []byte, *store.Spec) {
+	t.Helper()
+	sp := &store.Spec{
+		FormatVersion: store.FormatVersion,
+		Tenant:        "t", ID: "torn",
+		Workloads: []string{"mobilenetv2"},
+		Objective: "perf-per-tdp",
+		Algorithm: string(search.AlgLCS),
+		Trials:    24,
+		Seed:      11,
+		BatchSize: 8,
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := st.Create(*sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.BeginTranscript(search.AlgLCS, sp.Seed, sp.Trials); err != nil {
+		t.Fatal(err)
+	}
+	cs := &core.Study{
+		Workloads: sp.Workloads,
+		Objective: core.PerfPerTDP,
+		Algorithm: search.AlgLCS,
+		Trials:    sp.Trials,
+		Seed:      sp.Seed,
+	}
+	ref, err := cs.Run(context.Background(),
+		core.WithBatchSize(sp.BatchSize), core.WithParallelism(2),
+		core.WithTranscript(func(batch []search.Trial) {
+			if _, err := study.AppendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.CloseTranscript(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(study.Dir(), "transcript.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, data, sp
+}
+
+// snapshotOfTruncated writes the first cut bytes of transcript into a
+// fresh study directory and loads its snapshot.
+func snapshotOfTruncated(t *testing.T, sp store.Spec, transcript []byte, cut int) (search.Snapshot, bool) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := st.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(study.Dir(), "transcript.jsonl"), transcript[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, truncated, err := study.Snapshot()
+	if err != nil {
+		t.Fatalf("cut %d/%d: Snapshot: %v", cut, len(transcript), err)
+	}
+	return snap, truncated
+}
+
+// TestTornFinalLineEveryOffset truncates the transcript at every byte
+// offset of the final AppendBatch line. At every cut, Snapshot must
+// succeed, report exactly the acknowledged batches (all but the torn
+// final one), and flag truncation precisely when partial bytes of the
+// torn line remain on disk.
+func TestTornFinalLineEveryOffset(t *testing.T) {
+	_, data, sp := tornStudy(t)
+
+	// Locate the final line: bytes after the second-to-last newline.
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatal("transcript does not end in a newline")
+	}
+	body := data[:len(data)-1]
+	lastStart := bytes.LastIndexByte(body, '\n') + 1
+	if lastStart <= 0 {
+		t.Fatal("transcript has no batch lines")
+	}
+	wantTrials := sp.Trials - sp.BatchSize // every batch but the torn last one
+
+	for cut := lastStart; cut < len(data); cut++ {
+		snap, truncated := snapshotOfTruncated(t, *sp, data, cut)
+		if got := len(snap.Trials); got != wantTrials {
+			t.Fatalf("cut %d/%d: snapshot has %d trials, want %d", cut, len(data), got, wantTrials)
+		}
+		wantTruncated := cut > lastStart // zero bytes of the line = clean shorter transcript
+		if truncated != wantTruncated {
+			t.Fatalf("cut %d/%d: truncated=%v, want %v", cut, len(data), truncated, wantTruncated)
+		}
+		if snap.Algorithm != search.AlgLCS || snap.Seed != sp.Seed || snap.Budget != sp.Trials {
+			t.Fatalf("cut %d: snapshot header %s/%d/%d mangled", cut, snap.Algorithm, snap.Seed, snap.Budget)
+		}
+	}
+}
+
+// TestTornLineResumesBitIdentically resumes from a mid-line truncation
+// — the worst crash point: partial batch bytes on disk — and requires
+// the resumed study to replay the dropped batch and finish with a
+// history bit-identical to the uninterrupted reference.
+func TestTornLineResumesBitIdentically(t *testing.T) {
+	ref, data, sp := tornStudy(t)
+
+	body := data[:len(data)-1]
+	lastStart := bytes.LastIndexByte(body, '\n') + 1
+	cut := lastStart + (len(data)-lastStart)/2 // half the final line survives
+	snap, truncated := snapshotOfTruncated(t, *sp, data, cut)
+	if !truncated {
+		t.Fatal("mid-line cut not reported as truncated")
+	}
+
+	cs := &core.Study{
+		Workloads: sp.Workloads,
+		Objective: core.PerfPerTDP,
+		Algorithm: search.AlgLCS,
+		Trials:    sp.Trials,
+		Seed:      sp.Seed,
+	}
+	res, err := cs.Run(context.Background(),
+		core.WithBatchSize(sp.BatchSize), core.WithParallelism(2), core.WithResume(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Search.History) != len(ref.Search.History) {
+		t.Fatalf("resumed history has %d trials, want %d", len(res.Search.History), len(ref.Search.History))
+	}
+	for i := range ref.Search.History {
+		if !ref.Search.History[i].Equal(res.Search.History[i]) {
+			t.Fatalf("trial %d differs after torn-line resume:\n  want %+v\n  got  %+v",
+				i, ref.Search.History[i], res.Search.History[i])
+		}
+	}
+	if !ref.Search.Best.Equal(res.Search.Best) {
+		t.Fatal("best trial differs after torn-line resume")
+	}
+}

@@ -2,7 +2,7 @@
 # bench.sh — run the perf-trajectory benchmarks and emit BENCH_PR<N>.json.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR5.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_PR8.json in the repo root
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=10x scripts/bench.sh   # more iterations per benchmark
 #
@@ -13,13 +13,16 @@
 # exact-ILP fusion solve (BenchmarkFullILPEvaluate: sparse revised
 # simplex vs the frozen dense tableau, with branch-and-bound node
 # counts), the fast-experiments table6 wall time at parallelism 1 vs 4
-# (the parallel full-ILP reporting fan-out), plus the PR 3 baseline for
-# the search benchmark so the trajectory is self-describing. Override
-# PR3_TRIALS_P1/PR3_TRIALS_P4 when re-baselining on different hardware.
+# (the parallel full-ILP reporting fan-out), distributed-worker scaling
+# (end-to-end fast-search trials/s at 1/2/4 fast-worker subprocesses,
+# plus a chaos-faulted run — the "cpus" field makes single-core numbers
+# self-describing), plus the PR 3 baseline for the search benchmark so
+# the trajectory is self-describing. Override PR3_TRIALS_P1/
+# PR3_TRIALS_P4 when re-baselining on different hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR5.json}
+OUT=${1:-BENCH_PR8.json}
 BENCHTIME=${BENCHTIME:-10x}
 # PR 3 numbers measured on the reference box (single-core Xeon 2.10GHz),
 # see BENCH_PR3.json.
@@ -33,7 +36,8 @@ echo "$RAW"
 
 # Wall time for one full-ILP reporting table, serial vs fanned out.
 EXP_BIN=$(mktemp /tmp/fast-experiments.XXXXXX)
-trap 'rm -f "$EXP_BIN"' EXIT
+BIN_DIR=$(mktemp -d /tmp/fastbench.XXXXXX)
+trap 'rm -f "$EXP_BIN"; rm -rf "$BIN_DIR"' EXIT
 go build -o "$EXP_BIN" ./cmd/fast-experiments
 t0=$(date +%s.%N)
 "$EXP_BIN" -exp table6 -parallel 1 >/dev/null
@@ -44,10 +48,36 @@ EXP_P1=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
 EXP_P4=$(awk -v a="$t1" -v b="$t2" 'BEGIN { printf "%.2f", b - a }')
 echo "fast-experiments table6: ${EXP_P1}s at -parallel 1, ${EXP_P4}s at -parallel 4"
 
+# Distributed-worker scaling: the same Pareto study shipped to
+# fast-worker subprocess pools of 1, 2, and 4, plus a run under the
+# standard chaos fault plan (injected delays/drops/dups/corruption)
+# to record throughput while the robustness machinery is actually
+# retrying and hedging. Results are bit-identical in every mode — only
+# the trials/s moves. On a box with fewer cores than workers the
+# scaling is necessarily flat; "cpus" is recorded so the numbers are
+# self-describing.
+go build -o "$BIN_DIR/" ./cmd/fast-search ./cmd/fast-worker
+WS_TRIALS=${WS_TRIALS:-64}
+ws_run() { # ws_run <workers> [extra flags...] → end-to-end trials/s
+	"$BIN_DIR/fast-search" -workloads efficientnet-b7 \
+		-objectives perf-per-tdp,area -trials "$WS_TRIALS" -seed 1 \
+		-workers "$@" 2>/dev/null |
+		sed -n 's#.*(\([0-9.]*\) trials/s).*#\1#p'
+}
+WS1=$(ws_run 1)
+WS2=$(ws_run 2)
+WS4=$(ws_run 4)
+WSF=$(ws_run 2 -chaos)
+CPUS=$(nproc 2>/dev/null || echo 1)
+echo "workers scaling (efficientnet-b7 front, $WS_TRIALS trials, $CPUS cpus):"
+echo "  ${WS1} trials/s @1w, ${WS2} @2w, ${WS4} @4w, ${WSF} @2w under chaos"
+
 echo "$RAW" | awk \
 	-v out="$OUT" -v bt="$BENCHTIME" \
 	-v p1base="$PR3_TRIALS_P1" -v p4base="$PR3_TRIALS_P4" \
-	-v exp1="$EXP_P1" -v exp4="$EXP_P4" '
+	-v exp1="$EXP_P1" -v exp4="$EXP_P4" \
+	-v ws1="$WS1" -v ws2="$WS2" -v ws4="$WS4" -v wsf="$WSF" \
+	-v wstrials="$WS_TRIALS" -v cpus="$CPUS" '
 # Benchmark lines with ReportAllocs look like:
 #   Name  N  <ns> ns/op  [<metric> <unit>]  <B> B/op  <allocs> allocs/op
 function allocs(   i) { for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op") return $i; return "" }
@@ -65,8 +95,12 @@ END {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"
 		exit 1
 	}
+	if (ws1 == "" || ws2 == "" || ws4 == "" || wsf == "") {
+		print "bench.sh: missing workers-scaling output" > "/dev/stderr"
+		exit 1
+	}
 	printf "{\n" > out
-	printf "  \"pr\": 5,\n" >> out
+	printf "  \"pr\": 8,\n" >> out
 	printf "  \"benchmark\": \"BenchmarkSearchThroughput (efficientnet-b0, LCS, 64 trials)\",\n" >> out
 	printf "  \"benchtime\": \"%s\",\n", bt >> out
 	printf "  \"cpu\": \"%s\",\n", cpu >> out
@@ -84,6 +118,14 @@ END {
 	printf "    \"bb_nodes_per_op\": {\"sparse\": %s, \"dense\": %s}\n", snodes, dnodes >> out
 	printf "  },\n" >> out
 	printf "  \"fast_experiments_table6_wall_s\": {\"parallel_1\": %s, \"parallel_4\": %s, \"speedup\": %.2f},\n", exp1, exp4, exp1 / exp4 >> out
+	printf "  \"workers_scaling\": {\n" >> out
+	printf "    \"experiment\": \"fast-search -workloads efficientnet-b7 -objectives perf-per-tdp,area -trials %s (subprocess fast-worker pool)\",\n", wstrials >> out
+	printf "    \"cpus\": %s,\n", cpus >> out
+	printf "    \"trials_per_sec\": {\"workers_1\": %s, \"workers_2\": %s, \"workers_4\": %s},\n", ws1, ws2, ws4 >> out
+	printf "    \"speedup_4w_vs_1w\": %.2f,\n", ws4 / ws1 >> out
+	printf "    \"efficiency_4w\": %.2f\n", ws4 / ws1 / 4 >> out
+	printf "  },\n" >> out
+	printf "  \"faulted_trials_s\": %s,\n", wsf >> out
 	printf "  \"allocs_per_op\": {\"compile\": %s, \"evaluate_warm\": %s, \"evaluate_batch\": %s}\n", cal, eal, bal >> out
 	printf "}\n" >> out
 	printf "wrote %s\n", out

@@ -1,25 +1,24 @@
 #!/usr/bin/env bash
-# docs_smoke.sh — execute the curl examples in docs/API.md against a
-# real fast-serve daemon, exactly as written. Every fenced block tagged
-# `bash doc-smoke` in the doc is extracted and run, in order, in one
-# shell with $BASE pointing at a freshly started daemon on a temp data
-# directory. CI runs this (the serve-smoke job), so the examples in the
-# API reference cannot drift from the server's actual behavior.
+# docs_smoke.sh — execute the examples in the docs against a real
+# fast-serve daemon, exactly as written. Every fenced block tagged
+# `bash doc-smoke` is extracted and run, in order, in one shell with
+# $BASE pointing at a freshly started daemon on a temp data directory.
+# Each document gets its own daemon: docs/API.md runs against a plain
+# daemon; docs/OPERATIONS.md runs against one started with -workers 2,
+# with fast-search and fast-worker on PATH for its CLI examples. CI
+# runs this (the serve-smoke job), so the documented examples cannot
+# drift from the binaries' actual behavior.
 #
 # Knobs:
-#   DOCS_SMOKE_DOC=docs/API.md    # document to extract blocks from
+#   DOCS_SMOKE_DOC=docs/API.md    # run only this document
 #   DOCS_SMOKE_KEEP=1             # keep the temp dir (daemon log, data)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DOC=${DOCS_SMOKE_DOC:-docs/API.md}
-
 work=$(mktemp -d)
+server_pid=
 cleanup() {
-	if [ -n "${server_pid:-}" ]; then
-		kill "$server_pid" 2>/dev/null || true
-		wait "$server_pid" 2>/dev/null || true
-	fi
+	stop_daemon
 	if [ "${DOCS_SMOKE_KEEP:-0}" = "1" ]; then
 		echo "docs_smoke: kept $work"
 	else
@@ -28,51 +27,80 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "docs_smoke: extracting doc-smoke blocks from $DOC"
-awk '/^```bash doc-smoke$/ { grab = 1; next } /^```$/ { grab = 0 } grab' \
-	"$DOC" > "$work/blocks.sh"
-if ! [ -s "$work/blocks.sh" ]; then
-	echo "docs_smoke: FAIL — no doc-smoke blocks found in $DOC" >&2
-	exit 1
-fi
-
-echo "docs_smoke: building fast-serve"
-go build -o "$work/fast-serve" ./cmd/fast-serve
-
-# Start the daemon on a random loopback port, retrying on collisions.
-server_pid=
-for _ in 1 2 3 4 5; do
-	port=$((20000 + RANDOM % 20000))
-	"$work/fast-serve" -addr "127.0.0.1:$port" -data "$work/studies" \
-		>"$work/server.log" 2>&1 &
-	server_pid=$!
-	for _ in $(seq 1 50); do
-		if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
-			break 2
-		fi
-		if ! kill -0 "$server_pid" 2>/dev/null; then
-			server_pid= # port taken (or crashed); try another
-			break
-		fi
-		sleep 0.1
-	done
+stop_daemon() {
 	if [ -n "$server_pid" ]; then
 		kill "$server_pid" 2>/dev/null || true
+		wait "$server_pid" 2>/dev/null || true
 		server_pid=
 	fi
-done
-if [ -z "$server_pid" ]; then
+}
+
+# start_daemon <data-dir> [extra fast-serve flags...] — starts the
+# daemon on a random loopback port (retrying collisions) and sets
+# $port.
+start_daemon() {
+	local data=$1
+	shift
+	for _ in 1 2 3 4 5; do
+		port=$((20000 + RANDOM % 20000))
+		"$work/bin/fast-serve" -addr "127.0.0.1:$port" -data "$data" "$@" \
+			>>"$work/server.log" 2>&1 &
+		server_pid=$!
+		for _ in $(seq 1 50); do
+			if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+				return 0
+			fi
+			if ! kill -0 "$server_pid" 2>/dev/null; then
+				server_pid= # port taken (or crashed); try another
+				break
+			fi
+			sleep 0.1
+		done
+		stop_daemon
+	done
 	echo "docs_smoke: FAIL — daemon did not come up" >&2
 	cat "$work/server.log" >&2 || true
-	exit 1
+	return 1
+}
+
+# run_doc <doc> [extra fast-serve flags...] — extract the doc's
+# doc-smoke blocks and run them against a fresh daemon.
+run_doc() {
+	local doc=$1
+	shift
+	local blocks="$work/blocks-$(basename "$doc" .md).sh"
+	echo "docs_smoke: extracting doc-smoke blocks from $doc"
+	awk '/^```bash doc-smoke$/ { grab = 1; next } /^```$/ { grab = 0 } grab' \
+		"$doc" > "$blocks"
+	if ! [ -s "$blocks" ]; then
+		echo "docs_smoke: FAIL — no doc-smoke blocks found in $doc" >&2
+		exit 1
+	fi
+	start_daemon "$work/studies-$(basename "$doc" .md)" "$@"
+	echo "docs_smoke: daemon up on port $port, running $doc examples"
+	if ! BASE="http://127.0.0.1:$port" PATH="$work/bin:$PATH" \
+		bash -euo pipefail "$blocks"; then
+		echo "docs_smoke: FAIL — a documented example in $doc did not behave as documented" >&2
+		echo "docs_smoke: daemon log:" >&2
+		cat "$work/server.log" >&2 || true
+		exit 1
+	fi
+	stop_daemon
+	ran=$((ran + $(grep -cE '^(curl|fast-)' "$blocks" || true)))
+}
+
+echo "docs_smoke: building fast-serve, fast-search, fast-worker"
+go build -o "$work/bin/" ./cmd/fast-serve ./cmd/fast-search ./cmd/fast-worker
+
+ran=0
+if [ -n "${DOCS_SMOKE_DOC:-}" ]; then
+	case "$DOCS_SMOKE_DOC" in
+	*OPERATIONS*) run_doc "$DOCS_SMOKE_DOC" -workers 2 ;;
+	*) run_doc "$DOCS_SMOKE_DOC" ;;
+	esac
+else
+	run_doc docs/API.md
+	run_doc docs/OPERATIONS.md -workers 2
 fi
 
-echo "docs_smoke: daemon up on port $port, running examples"
-if ! BASE="http://127.0.0.1:$port" bash -euo pipefail "$work/blocks.sh"; then
-	echo "docs_smoke: FAIL — a documented example did not behave as documented" >&2
-	echo "docs_smoke: daemon log:" >&2
-	cat "$work/server.log" >&2 || true
-	exit 1
-fi
-
-echo "docs_smoke: OK ($(grep -c '^curl' "$work/blocks.sh") documented curl calls ran)"
+echo "docs_smoke: OK ($ran documented commands ran)"
