@@ -68,6 +68,7 @@ func BenchmarkFig15Breakdown(b *testing.B)         { runExperiment(b, "fig15") }
 func BenchmarkTable4ROIVolumes(b *testing.B)       { runExperiment(b, "table4") }
 func BenchmarkTable5Designs(b *testing.B)          { runExperiment(b, "table5") }
 func BenchmarkTable6Ablation(b *testing.B)         { runExperiment(b, "table6") }
+func BenchmarkDecodeServing(b *testing.B)          { runExperiment(b, "decode") }
 
 // --- Ablation benches for DESIGN.md's called-out design choices ---
 
@@ -270,10 +271,77 @@ func BenchmarkSearchThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeSearchThroughput measures end-to-end search throughput
+// on the autoregressive decode workload (GPT-2-small, one token over a
+// 1024-entry KV cache). Decode trials exercise the KV-residency branch
+// of the fusion solve on every candidate, so this is the decoder
+// counterpart of BenchmarkSearchThroughput's encoder baseline.
+func BenchmarkDecodeSearchThroughput(b *testing.B) {
+	const trials = 64
+	study := func() *Study {
+		return &Study{
+			Workloads: []string{"gpt2-decode-1024"},
+			Objective: ObjectivePerfPerTDP,
+			Algorithm: AlgorithmLCS,
+			Trials:    trials,
+			Seed:      1,
+		}
+	}
+	// Untimed warm-up fills the process-wide graph cache.
+	if _, err := study().Run(context.Background(), WithParallelism(1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := study().Run(context.Background(), WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best == nil {
+			b.Fatal("no feasible design in the decode study")
+		}
+	}
+	b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkDecodeEvaluate times the warm-cache evaluate on the decode
+// plan, where every region carries KV-cache traffic and the fusion
+// solve weighs cache slabs against pinned weights for Global Memory —
+// the per-trial cost a decode-workload search pays after Compile.
+func BenchmarkDecodeEvaluate(b *testing.B) {
+	cfg := arch.FASTDecode()
+	g := models.MustBuild("gpt2-decode-1024", cfg.NativeBatch)
+	plan, err := sim.Compile(g, sim.FASTOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var kv int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := plan.Evaluate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ScheduleFailed {
+			b.Fatalf("schedule failure: %s", r.FailReason)
+		}
+		kv = 0
+		for ri := range r.Regions {
+			kv += r.Regions[ri].KVBytes
+		}
+	}
+	if kv == 0 {
+		b.Fatal("decode plan reported no KV-cache traffic")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
 // BenchmarkSimulatorThroughput times raw simulator invocations per
 // workload (the quantity that bounds search throughput).
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	for _, w := range []string{"efficientnet-b0", "efficientnet-b7", "resnet50", "bert-1024", "ocr-rpn", "ocr-recognizer"} {
+	for _, w := range []string{"efficientnet-b0", "efficientnet-b7", "resnet50", "bert-1024", "ocr-rpn", "ocr-recognizer", "gpt2-prefill-1024", "gpt2-decode-1024"} {
 		b.Run(w, func(b *testing.B) {
 			benchSimulate(b, w, arch.FASTLarge(), sim.FASTOptions())
 		})

@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		model      = flag.String("model", "efficientnet-b0", "workload name: "+strings.Join(fast.ModelNames(), ", "))
-		design     = flag.String("design", "fast-large", "design name: tpu-v3, tpu-v3-dieshrink, fast-large, fast-small")
+		design     = flag.String("design", "fast-large", "design name: tpu-v3, tpu-v3-dieshrink, fast-large, fast-small, fast-decode")
 		designFile = flag.String("design-file", "", "load the design from a JSON file (overrides -design)")
 		stack      = flag.String("stack", "fast", "software stack: fast (all schedules + fusion) or baseline (production TPU stack)")
 		batch      = flag.Int64("batch", 0, "override the design's native batch size (power of 2)")
@@ -127,6 +127,19 @@ func main() {
 	fmt.Printf("memory stall        %.1f%% -> %.1f%% (fusion efficiency %.1f%%, method %s)\n",
 		r.MemStallPre*100, r.MemStallPost*100, r.FusionEfficiency*100, method)
 	fmt.Printf("GM residency peak   %.1f MiB of %d MiB\n", float64(r.Fusion.GMUsedPeak)/(1<<20), cfg.GlobalMiB)
+	var kvTotal, kvHeld int64
+	var kvRegions int
+	for ri := range r.Regions {
+		kvTotal += r.Regions[ri].KVBytes
+		if r.Fusion.KVOnChip[ri] {
+			kvRegions++
+			kvHeld += r.Regions[ri].KVBytes
+		}
+	}
+	if kvTotal > 0 {
+		fmt.Printf("KV-cache residency  %.1f of %.1f MiB held on chip (%d regions)\n",
+			float64(kvHeld)/(1<<20), float64(kvTotal)/(1<<20), kvRegions)
+	}
 	fmt.Printf("softmax algorithm   %s\n", r.SoftmaxAlgorithm)
 	pm := fast.DefaultPowerModel()
 	ec := fast.DefaultEnergyCoeffs()
@@ -139,7 +152,9 @@ func main() {
 	if *classes {
 		fmt.Printf("\nper-class runtime (profiler attribution):\n")
 		classify := sim.ClassifyCNN
-		if strings.HasPrefix(*model, "bert") {
+		// GPT builders reuse BERT's component naming, so the transformer
+		// classifier attributes both.
+		if strings.HasPrefix(*model, "bert") || strings.HasPrefix(*model, "gpt2-") {
 			classify = sim.ClassifyBERT
 		}
 		for _, row := range r.ByClassRegion(classify) {

@@ -262,6 +262,10 @@ func FASTLarge() *Design { return arch.FASTLarge() }
 // FASTSmall returns the Table 5 FAST-Small design.
 func FASTSmall() *Design { return arch.FASTSmall() }
 
+// FASTDecode returns the decode-tuned reference design (maximum Global
+// Memory for KV-cache residency, native batch 1).
+func FASTDecode() *Design { return arch.FASTDecode() }
+
 // DesignByName resolves a named reference design (nil if unknown).
 func DesignByName(name string) *Design { return arch.ByName(name) }
 

@@ -80,6 +80,28 @@ func FASTSmall() *Config {
 	}
 }
 
+// FASTDecode returns a decode-tuned design for autoregressive serving:
+// FAST-Large's datapath with the Global Memory grown to the 256 MiB
+// ceiling of the Table 3 space — decode steps are dominated by reading
+// per-layer KV-cache slabs, so capacity for held slabs buys more than
+// extra compute — and native batch 1 (one token per request per step).
+func FASTDecode() *Config {
+	return &Config{
+		Name: "fast-decode",
+		PEsX: 8, PEsY: 8,
+		SAx: 32, SAy: 32,
+		VectorMult: 1,
+		L1Config:   Shared,
+		L1InputKiB: 8, L1WeightKiB: 8, L1OutputKiB: 8,
+		L2Config:    Disabled,
+		GlobalMiB:   256,
+		MemChannels: 8, Mem: GDDR6,
+		NativeBatch: 1,
+		Cores:       1,
+		ClockGHz:    1.0,
+	}
+}
+
 // ByName returns a named design or nil.
 func ByName(name string) *Config {
 	switch name {
@@ -91,11 +113,13 @@ func ByName(name string) *Config {
 		return FASTLarge()
 	case "fast-small":
 		return FASTSmall()
+	case "fast-decode":
+		return FASTDecode()
 	}
 	return nil
 }
 
 // DesignNames lists the named reference designs.
 func DesignNames() []string {
-	return []string{"tpu-v3", "tpu-v3-dieshrink", "fast-large", "fast-small"}
+	return []string{"tpu-v3", "tpu-v3-dieshrink", "fast-large", "fast-small", "fast-decode"}
 }

@@ -201,12 +201,32 @@ func TestTable6EveryComponentMatters(t *testing.T) {
 	}
 }
 
+func TestDecodeServingShape(t *testing.T) {
+	tab := DecodeServing(tinyOpts)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("decode table has %d rows, want the baseline + 2 FAST designs", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if cell(tab, i, 1) <= cell(tab, i, 2) {
+			t.Errorf("%s: prefill tok/s %s not above decode tok/s %s", row[0], row[1], row[2])
+		}
+	}
+	// Decode on the dense FAST designs is memory-stalled (the regime KV
+	// residency targets), and the decode-tuned design holds cache slabs.
+	if v := cell(tab, 1, 4); v < 50 {
+		t.Errorf("fast-large decode stall = %.1f%%, want memory-bound", v)
+	}
+	if v := cell(tab, 2, 3); v <= 0 {
+		t.Errorf("fast-decode holds %.1f MiB of KV cache, want > 0", v)
+	}
+}
+
 func TestSearchExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("search experiments under -short")
 	}
 	reg := Registry(tinyOpts)
-	for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "frontier", "table4"} {
+	for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "frontier", "table4", "decode"} {
 		tab := reg[id]()
 		if len(tab.Rows) == 0 {
 			t.Errorf("%s: no rows", id)

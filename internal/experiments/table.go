@@ -136,6 +136,7 @@ func Registry(o Options) map[string]func() Table {
 		"fig13":    func() Table { return Fig13FusionSweep(o) },
 		"fig14":    func() Table { return Fig14PerLayerFAST(o) },
 		"fig15":    func() Table { return Fig15Breakdown(o) },
+		"decode":   func() Table { return DecodeServing(o) },
 	}
 }
 
@@ -143,7 +144,7 @@ func Registry(o Options) map[string]func() Table {
 func IDs() []string {
 	ids := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"fig9", "fig10", "fig11", "fig12", "frontier", "fig13", "fig14", "fig15",
-		"table4", "table5", "table6"}
+		"table4", "table5", "table6", "decode"}
 	return ids
 }
 

@@ -57,6 +57,15 @@ type RegionCost struct {
 	// activation input (-1 for none); EdgeBytes is that tensor's size.
 	EdgeProducer int
 	EdgeBytes    int64
+	// KVBytes is the persistent key/value-cache bytes this region reads
+	// (decode-step attention); TKVRead is the DRAM-time saving when that
+	// cache slab is held resident in Global Memory. A held cache behaves
+	// like a pinned weight for capacity purposes — the tensor persists
+	// across inferences, so it charges GM for the whole step, not just a
+	// producer→consumer interval. Zero for encoder workloads.
+	KVBytes int64
+	TKVRead float64
+
 	// EdgeResidentBytes is the tensor's peak Global-Memory residency,
 	// which may be below EdgeBytes when the scheduler applies inter-op
 	// blocking (§5.5: "schedulers can use inter-op blocking to reduce
@@ -83,6 +92,10 @@ type Solution struct {
 	// EdgeOnChip[i] keeps region i's primary input tensor in GM from its
 	// producer until i runs.
 	EdgeOnChip []bool
+	// KVOnChip[i] holds region i's persistent KV-cache slab resident in
+	// GM for the whole decode step (nil on solutions predating the KV
+	// class; treated as all-false).
+	KVOnChip []bool
 	// Times[i] is the post-fusion execution-time estimate per region.
 	Times []float64
 	// Total is ΣTimes.
@@ -132,16 +145,17 @@ func regionTime(r RegionCost, saved float64) float64 {
 	return t
 }
 
-// savedByRegion accumulates each region's time savings for an assignment.
-func savedByRegion(regions []RegionCost, pin, keep []bool) []float64 {
+// savedByRegion accumulates each region's time savings for an assignment
+// (hold may be nil: no KV-cache residency).
+func savedByRegion(regions []RegionCost, pin, keep, hold []bool) []float64 {
 	saved := make([]float64, len(regions))
-	accumSaved(saved, regions, pin, keep)
+	accumSaved(saved, regions, pin, keep, hold)
 	return saved
 }
 
 // accumSaved adds each region's time savings into a caller-provided
-// (zeroed) buffer.
-func accumSaved(saved []float64, regions []RegionCost, pin, keep []bool) {
+// (zeroed) buffer. hold may be nil (no KV-cache residency).
+func accumSaved(saved []float64, regions []RegionCost, pin, keep, hold []bool) {
 	for i, r := range regions {
 		if pin[i] {
 			saved[i] += r.TWeight
@@ -151,6 +165,9 @@ func accumSaved(saved []float64, regions []RegionCost, pin, keep []bool) {
 			if r.EdgeProducer >= 0 {
 				saved[r.EdgeProducer] += r.TEdgeWrite
 			}
+		}
+		if hold != nil && hold[i] {
+			saved[i] += r.TKVRead
 		}
 	}
 }
@@ -179,6 +196,9 @@ func UsableEdges(producers []int, window int) []bool {
 // Assignment can back many concurrent Solutions.
 type Assignment struct {
 	Pin, Keep []bool
+	// Hold marks regions whose persistent KV-cache slab stays resident
+	// in GM (always allocated, all-false for encoder workloads).
+	Hold []bool
 	// Method is "disabled", "greedy", "ilp-incumbent" or "ilp-optimal".
 	Method string
 	// Gap is the ILP's relative optimality gap on a deadline hit (see
@@ -215,17 +235,17 @@ func OptimizePlanned(regions []RegionCost, usable []bool, capacity int64, opts O
 func SolvePlanned(regions []RegionCost, usable []bool, capacity int64, opts Options) Assignment {
 	n := len(regions)
 	if opts.Disable || n == 0 || capacity <= 0 {
-		return Assignment{Pin: make([]bool, n), Keep: make([]bool, n), Method: "disabled"}
+		return Assignment{Pin: make([]bool, n), Keep: make([]bool, n), Hold: make([]bool, n), Method: "disabled"}
 	}
 	normalizeResident(regions)
-	pin, keep := greedy(regions, usable, capacity)
-	asn := Assignment{Pin: pin, Keep: keep, Method: "greedy"}
+	pin, keep, hold := greedy(regions, usable, capacity)
+	asn := Assignment{Pin: pin, Keep: keep, Hold: hold, Method: "greedy"}
 	if !opts.GreedyOnly {
 		deadline := opts.Deadline
 		if deadline == 0 {
 			deadline = 2 * time.Second
 		}
-		if ilpAsn, ok := solveILP(regions, usable, capacity, pin, keep, deadline, opts.DenseILP); ok {
+		if ilpAsn, ok := solveILP(regions, usable, capacity, pin, keep, hold, deadline, opts.DenseILP); ok {
 			asn = ilpAsn
 		}
 	}
@@ -243,6 +263,7 @@ func ResolvePlanned(regions []RegionCost, capacity int64, asn Assignment) Soluti
 	cp := asn
 	cp.Pin = append([]bool(nil), asn.Pin...)
 	cp.Keep = append([]bool(nil), asn.Keep...)
+	cp.Hold = append([]bool(nil), asn.Hold...)
 	return resolveOwned(regions, capacity, cp)
 }
 
@@ -252,10 +273,14 @@ func resolveOwned(regions []RegionCost, capacity int64, asn Assignment) Solution
 	sol := Solution{
 		PinWeight:  asn.Pin,
 		EdgeOnChip: asn.Keep,
+		KVOnChip:   asn.Hold,
 		Times:      make([]float64, len(regions)),
 		Method:     asn.Method,
 		Gap:        asn.Gap,
 		Nodes:      asn.Nodes,
+	}
+	if sol.KVOnChip == nil {
+		sol.KVOnChip = make([]bool, len(regions))
 	}
 	if asn.Method == "disabled" {
 		for i, r := range regions {
@@ -305,7 +330,7 @@ func finalize(sol *Solution, regions []RegionCost, capacity int64) {
 		dropLowestDensity(sol, regions)
 	}
 	saved := resetF64(&fs.saved, len(regions))
-	accumSaved(saved, regions, sol.PinWeight, sol.EdgeOnChip)
+	accumSaved(saved, regions, sol.PinWeight, sol.EdgeOnChip, sol.KVOnChip)
 	sol.Total = 0
 	for i, r := range regions {
 		sol.Times[i] = regionTime(r, saved[i])
@@ -328,6 +353,11 @@ func peakUsageBuf(sol *Solution, regions []RegionCost, delta []int64) int64 {
 	for i, r := range regions {
 		if sol.PinWeight[i] {
 			pinned += r.DWeight
+		}
+		// Held KV-cache slabs persist across the whole step, so like
+		// pins they charge every region uniformly.
+		if sol.KVOnChip != nil && sol.KVOnChip[i] {
+			pinned += r.KVBytes
 		}
 	}
 	// Sweep: delta array over residency intervals.
@@ -369,13 +399,21 @@ func dropLowestDensity(sol *Solution, regions []RegionCost) {
 				worst, worstI, worstKind = d, i, 1
 			}
 		}
+		if sol.KVOnChip != nil && sol.KVOnChip[i] && r.KVBytes > 0 {
+			if d := r.TKVRead / float64(r.KVBytes); d < worst {
+				worst, worstI, worstKind = d, i, 2
+			}
+		}
 	}
 	if worstI < 0 {
 		return
 	}
-	if worstKind == 0 {
+	switch worstKind {
+	case 0:
 		sol.PinWeight[worstI] = false
-	} else {
+	case 1:
 		sol.EdgeOnChip[worstI] = false
+	default:
+		sol.KVOnChip[worstI] = false
 	}
 }

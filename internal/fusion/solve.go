@@ -17,7 +17,10 @@ type heapCand struct {
 	seq    int32
 	idx    int32
 	isEdge bool
-	bytes  int64
+	// isKV marks a KV-cache hold candidate: capacity-wise it behaves
+	// like a pin (charges every region), value-wise it saves TKVRead.
+	isKV  bool
+	bytes int64
 }
 
 // candBefore is the heap priority: higher cached density first; among
@@ -85,10 +88,11 @@ var greedyPool = sync.Pool{New: func() any { return new(greedyScratch) }}
 //     candidates land in the same sequence as the reference. This turns
 //     the O(candidates) re-scan per selection into O(log candidates)
 //     amortized.
-func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bool) {
+func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep, hold []bool) {
 	n := len(regions)
 	pin = make([]bool, n)
 	keep = make([]bool, n)
+	hold = make([]bool, n)
 	gs := greedyPool.Get().(*greedyScratch)
 	defer greedyPool.Put(gs)
 	saved := resetF64(&gs.saved, n)
@@ -112,9 +116,12 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 	// marginal first, the per-byte division only when positive.
 	density := func(c heapCand) float64 {
 		var v float64
-		if c.isEdge {
+		switch {
+		case c.isEdge:
 			v = edgeValue(int(c.idx))
-		} else {
+		case c.isKV:
+			v = marginal(int(c.idx), regions[c.idx].TKVRead)
+		default:
 			v = marginal(int(c.idx), regions[c.idx].TWeight)
 		}
 		if v <= 0 {
@@ -134,6 +141,12 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 		}
 		if usable[i] && r.EdgeResidentBytes > 0 {
 			h = append(h, heapCand{seq: int32(len(h)), idx: int32(i), isEdge: true, bytes: r.EdgeResidentBytes})
+		}
+		// Encoder workloads enumerate no KV candidates, so their
+		// selection sequence — and hence the frozen-reference
+		// differential — is untouched.
+		if r.KVBytes > 0 && r.TKVRead > 0 {
+			h = append(h, heapCand{seq: int32(len(h)), idx: int32(i), isKV: true, bytes: r.KVBytes})
 		}
 	}
 	for i := range h {
@@ -206,12 +219,17 @@ func greedy(regions []RegionCost, usable []bool, capacity int64) (pin, keep []bo
 				continue
 			}
 			pinnedTotal += c.bytes
-			pin[ci] = true
-			saved[ci] += marginal(ci, regions[ci].TWeight)
+			if c.isKV {
+				hold[ci] = true
+				saved[ci] += marginal(ci, regions[ci].TKVRead)
+			} else {
+				pin[ci] = true
+				saved[ci] += marginal(ci, regions[ci].TWeight)
+			}
 		}
 	}
 	gs.heap = h[:0]
-	return pin, keep
+	return pin, keep, hold
 }
 
 // resetF64 grows *s to n and zeroes it.
@@ -242,7 +260,8 @@ func resetI64(s *[]int64, n int) []int64 {
 
 // solveILP builds the reduced Figure 8 ILP and solves it with
 // branch-and-bound. Variables: w_i (weight pin), e_i (edge residency,
-// consumer-indexed), and shifted continuous T'_i = T_i - TMin_i ≥ 0.
+// consumer-indexed), h_i (KV-cache hold, pin-like: charges every
+// capacity row), and shifted continuous T'_i = T_i - TMin_i ≥ 0.
 //
 // The formulation is presolved before it reaches the dense simplex —
 // whose per-pivot cost scales with rows × columns, so dead dimensions
@@ -261,7 +280,7 @@ func resetI64(s *[]int64, n int) []int64 {
 // the optimal objective are unchanged, only tie-breaking among equally
 // optimal assignments may differ from the unreduced formulation.
 func solveILP(regions []RegionCost, usable []bool, capacity int64,
-	warmPin, warmKeep []bool, deadline time.Duration, dense bool) (Assignment, bool) {
+	warmPin, warmKeep, warmHold []bool, deadline time.Duration, dense bool) (Assignment, bool) {
 
 	n := len(regions)
 	if n == 0 {
@@ -285,6 +304,14 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 			vars++
 		}
 	}
+	hIdx := make([]int, n)
+	for i := range regions {
+		hIdx[i] = -1
+		if regions[i].KVBytes > 0 && regions[i].TKVRead > 0 {
+			hIdx[i] = vars
+			vars++
+		}
+	}
 	if vars == 0 {
 		return Assignment{}, false
 	}
@@ -293,7 +320,7 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 	nv := vars
 	for i := range regions {
 		tIdx[i] = -1
-		touched := wIdx[i] >= 0 || eIdx[i] >= 0
+		touched := wIdx[i] >= 0 || eIdx[i] >= 0 || hIdx[i] >= 0
 		for j := range regions {
 			if eIdx[j] >= 0 && regions[j].EdgeProducer == i {
 				touched = true
@@ -336,6 +363,9 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 		if eIdx[i] >= 0 {
 			row[eIdx[i]] -= r.TEdgeRead
 		}
+		if hIdx[i] >= 0 {
+			row[hIdx[i]] -= r.TKVRead
+		}
 		for j, rj := range regions {
 			if eIdx[j] >= 0 && rj.EdgeProducer == i {
 				row[eIdx[j]] -= rj.TEdgeWrite
@@ -356,6 +386,10 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 		for j, rj := range regions {
 			if wIdx[j] >= 0 {
 				row[wIdx[j]] = float64(rj.DWeight)
+			}
+			if hIdx[j] >= 0 {
+				// Held caches persist across the step: every row.
+				row[hIdx[j]] = float64(rj.KVBytes)
 			}
 			if eIdx[j] >= 0 && rj.EdgeProducer <= k && k <= j {
 				row[eIdx[j]] += float64(rj.EdgeResidentBytes)
@@ -380,13 +414,16 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 	}
 
 	warm := make([]float64, nv)
-	saved := savedByRegion(regions, warmPin, warmKeep)
+	saved := savedByRegion(regions, warmPin, warmKeep, warmHold)
 	for i, r := range regions {
 		if warmPin[i] && wIdx[i] >= 0 {
 			warm[wIdx[i]] = 1
 		}
 		if warmKeep[i] && eIdx[i] >= 0 {
 			warm[eIdx[i]] = 1
+		}
+		if warmHold != nil && warmHold[i] && hIdx[i] >= 0 {
+			warm[hIdx[i]] = 1
 		}
 		if ti := tIdx[i]; ti >= 0 {
 			warm[ti] = math.Max(0, (r.TMax-r.TMin)-saved[i])
@@ -405,12 +442,14 @@ func solveILP(regions []RegionCost, usable []bool, capacity int64,
 	asn := Assignment{
 		Pin:    make([]bool, n),
 		Keep:   make([]bool, n),
+		Hold:   make([]bool, n),
 		Method: "ilp-incumbent",
 		Nodes:  res.Nodes,
 	}
 	for i := 0; i < n; i++ {
 		asn.Pin[i] = wIdx[i] >= 0 && res.X[wIdx[i]] > 0.5
 		asn.Keep[i] = eIdx[i] >= 0 && res.X[eIdx[i]] > 0.5
+		asn.Hold[i] = hIdx[i] >= 0 && res.X[hIdx[i]] > 0.5
 	}
 	if res.Optimal {
 		asn.Method = "ilp-optimal"

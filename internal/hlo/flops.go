@@ -21,7 +21,7 @@ func FLOPs(op *Op) int64 {
 			flops += int64(op.VecOpsPerElem) * op.Output.Elems()
 		}
 		return flops
-	case KInput, KConst, KOutput, KReshape:
+	case KInput, KConst, KOutput, KReshape, KKVCache:
 		return 0
 	default:
 		per := op.VecOpsPerElem
@@ -85,6 +85,7 @@ type GraphStats struct {
 	MaxWorkingSet  int64
 	InputBytes     int64 // graph inputs fetched from DRAM
 	OutputBytes    int64 // graph results written to DRAM
+	KVBytes        int64 // persistent KV-cache bytes read per decode step
 	DepthwiseFLOPs int64
 	Conv2DFLOPs    int64
 	VectorFLOPs    int64
@@ -121,6 +122,9 @@ func Stats(g *Graph) GraphStats {
 		}
 		if op.Kind == KOutput {
 			s.OutputBytes += op.Output.Bytes()
+		}
+		if op.Kind == KKVCache {
+			s.KVBytes += op.Output.Bytes()
 		}
 	}
 	s.MaxWorkingSet = MaxWorkingSetBytes(g)

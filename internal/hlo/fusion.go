@@ -47,7 +47,7 @@ func (p *Partition) RegionOf(id int) int { return p.regionOf[id] }
 
 // skipRegion reports whether the op never belongs to a region.
 func skipRegion(op *Op) bool {
-	return op.Kind == KInput || op.Kind == KConst || op.Kind == KOutput
+	return op.Kind == KInput || op.Kind == KConst || op.Kind == KOutput || op.Kind == KKVCache
 }
 
 func newPartition(g *Graph) *Partition {
@@ -214,6 +214,12 @@ type RegionIO struct {
 	OutputBytes int64
 	// WeightBytes is the parameter bytes the region reads.
 	WeightBytes int64
+	// KVBytes is the persistent key/value-cache bytes the region reads
+	// (KKVCache sources, deduplicated). Kept separate from InputBytes
+	// because the tensor persists across decode steps: the residency
+	// solver may hold it on chip, which no ordinary activation input
+	// allows.
+	KVBytes int64
 	// FLOPs is the region's compute.
 	FLOPs int64
 	// MatrixFLOPs is the systolic-array share of FLOPs.
@@ -242,6 +248,10 @@ func (p *Partition) IO(r *Region) RegionIO {
 				seen[in.ID] = true
 				if in.Kind == KConst {
 					continue // already counted as weights by the const op
+				}
+				if in.Kind == KKVCache {
+					io.KVBytes += in.Output.Bytes()
+					continue
 				}
 				io.InputBytes += in.Output.Bytes()
 			}
@@ -299,7 +309,7 @@ func (p *Partition) OpIntensity() float64 {
 	for _, r := range p.Regions {
 		io := p.IO(r)
 		flops += io.FLOPs
-		bytes += io.InputBytes + io.OutputBytes + io.WeightBytes
+		bytes += io.InputBytes + io.OutputBytes + io.WeightBytes + io.KVBytes
 	}
 	if bytes == 0 {
 		return 0

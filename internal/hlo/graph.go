@@ -64,6 +64,18 @@ func (g *Graph) Output(op *Op) *Op {
 // Outputs returns the graph result markers.
 func (g *Graph) Outputs() []*Op { return g.outputs }
 
+// KVCache adds a persistent key/value-cache source read by a decode
+// step. Like Input it carries no compute or weights, but its bytes are
+// a distinct traffic class: the tensor survives across decode steps, so
+// the residency solver may hold it in global memory instead of
+// re-streaming it from DRAM every step. Shape convention is
+// [B·heads, ...] — dim 0 carries the batch factor so WithBatch scales
+// the cache with the activations.
+func (g *Graph) KVCache(name string, shape tensor.Shape) *Op {
+	g.check(shape.Valid(), "kv-cache %s has invalid shape %s", name, shape)
+	return g.add(&Op{Name: name, Kind: KKVCache, Output: shape})
+}
+
 func convOut(in, k, stride int64, same bool) int64 {
 	if same {
 		return tensor.CeilDiv(in, stride)
@@ -345,7 +357,12 @@ func (g *Graph) WithBatch(b int64) *Graph {
 	for i, op := range g.Ops {
 		c := *op
 		c.Output = op.Output.Clone()
-		if op.Kind != KConst && op.Output.Rank() > 0 && op.Output.Dim(0) == native {
+		switch {
+		case op.Kind == KKVCache && op.Output.Rank() > 0 && op.Output.Dim(0)%native == 0:
+			// KV caches carry dim 0 = B·heads, a multiple of the native
+			// batch rather than the batch itself; scale proportionally.
+			c.Output.Dims[0] = op.Output.Dim(0) / native * b
+		case op.Kind != KConst && op.Output.Rank() > 0 && op.Output.Dim(0) == native:
 			c.Output.Dims[0] = b
 		}
 		if op.Einsum != nil {

@@ -73,6 +73,12 @@ const (
 	KLSTMCell
 	// KOutput marks a graph result.
 	KOutput
+	// KKVCache is a persistent attention key/value cache read by a decode
+	// step. Like KInput it is a source (no compute, no weights), but its
+	// bytes are neither activations nor weights: the tensor persists
+	// across decode steps, so the residency solver may hold it in global
+	// memory for the whole step instead of re-reading it from DRAM.
+	KKVCache
 )
 
 var kindNames = map[Kind]string{
@@ -83,7 +89,7 @@ var kindNames = map[Kind]string{
 	KBatchNorm: "batchnorm", KPool: "pool", KGlobalPool: "global-pool",
 	KReduce: "reduce", KReshape: "reshape", KTranspose: "transpose",
 	KConcat: "concat", KSlice: "slice", KGather: "gather",
-	KLSTMCell: "lstm-cell", KOutput: "output",
+	KLSTMCell: "lstm-cell", KOutput: "output", KKVCache: "kv-cache",
 }
 
 // String implements fmt.Stringer.
@@ -105,7 +111,7 @@ func (k Kind) IsMatrix() bool {
 
 // IsFree reports whether the op is layout-only and costless.
 func (k Kind) IsFree() bool {
-	return k == KReshape || k == KInput || k == KConst || k == KOutput
+	return k == KReshape || k == KInput || k == KConst || k == KOutput || k == KKVCache
 }
 
 // ConvParams carries convolution geometry. Layout is NHWC activations and

@@ -16,6 +16,8 @@ import (
 //	resnet50
 //	bert-128, bert-1024 (or bert-<seq> for any sequence length)
 //	ocr-rpn, ocr-recognizer
+//	gpt2-prefill-<seq>, gpt2-decode-<ctx> (GPT-2-small serving phases)
+//	gpt2-local-prefill-<seq>, gpt2-local-decode-<ctx> (block-local attention)
 func Build(name string, batch int64) (*hlo.Graph, error) {
 	b, err := builder(name)
 	if err != nil {
@@ -55,6 +57,8 @@ func builder(name string) (func(batch int64) *hlo.Graph, error) {
 		return OCRRecognizer, nil
 	case name == "mobilenetv2":
 		return MobileNetV2, nil
+	case strings.HasPrefix(name, "gpt2-"):
+		return gptBuilder(name)
 	}
 	return nil, fmt.Errorf("models: unknown workload %q (known: %s)",
 		name, strings.Join(Names(), ", "))
@@ -69,9 +73,61 @@ func MustBuild(name string, batch int64) *hlo.Graph {
 	return g
 }
 
+// gptLocalWindow is the block width of the "local" (SPLAT-style
+// block-local sparse attention) GPT workload variants.
+const gptLocalWindow = 256
+
+// gptBuilder parses gpt2-[local-]{prefill,decode}-<n> workload names.
+func gptBuilder(name string) (func(batch int64) *hlo.Graph, error) {
+	rest := strings.TrimPrefix(name, "gpt2-")
+	var window int64
+	if strings.HasPrefix(rest, "local-") {
+		rest, window = strings.TrimPrefix(rest, "local-"), int64(gptLocalWindow)
+	}
+	phase, num, ok := strings.Cut(rest, "-")
+	if !ok {
+		return nil, fmt.Errorf("models: bad GPT workload %q (want gpt2-[local-]{prefill,decode}-<n>)", name)
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("models: bad GPT context length in %q", name)
+	}
+	switch phase {
+	case "prefill":
+		if window > 0 && n%window != 0 {
+			return nil, fmt.Errorf("models: %q needs a sequence length divisible by the %d-wide attention block", name, gptLocalWindow)
+		}
+		return func(batch int64) *hlo.Graph {
+			cfg := GPT2SmallConfig(batch, n)
+			cfg.LocalWindow = window
+			return GPTPrefill(cfg)
+		}, nil
+	case "decode":
+		return func(batch int64) *hlo.Graph {
+			cfg := GPT2SmallConfig(batch, n)
+			cfg.LocalWindow = window
+			return GPTDecode(cfg)
+		}, nil
+	}
+	return nil, fmt.Errorf("models: bad GPT phase in %q (want prefill or decode)", name)
+}
+
+// UsesKVCache reports whether the named workload's graph reads a
+// persistent KV-cache (an autoregressive decode step). Such graphs
+// carry a traffic class the pre-KV frozen reference simulator does not
+// model, so differential suites that compare against it skip them;
+// decode models are instead pinned by their own golden results.
+func UsesKVCache(name string) bool {
+	return strings.HasPrefix(name, "gpt2-") && strings.Contains(name, "decode")
+}
+
 // Names lists every canonical workload name.
 func Names() []string {
-	out := []string{"resnet50", "bert-128", "bert-1024", "ocr-rpn", "ocr-recognizer", "mobilenetv2"}
+	out := []string{
+		"resnet50", "bert-128", "bert-1024", "ocr-rpn", "ocr-recognizer", "mobilenetv2",
+		"gpt2-prefill-128", "gpt2-prefill-1024", "gpt2-decode-1024",
+		"gpt2-local-prefill-1024", "gpt2-local-decode-1024",
+	}
 	for v := 0; v <= 7; v++ {
 		out = append(out, fmt.Sprintf("efficientnet-b%d", v))
 	}

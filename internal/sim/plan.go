@@ -124,6 +124,10 @@ type Plan struct {
 	// softmax op, and the tie resolves to three-pass, so AutoSoftmax
 	// evaluation can skip the second pass entirely.
 	hasSoftmax bool
+	// hasKV marks plans whose graph reads persistent KV-cache tensors
+	// (decode workloads); encoder plans skip the KV-eligibility stage
+	// entirely.
+	hasKV bool
 
 	// schemeKey fingerprints opts.Mapping's effective scheme set; it
 	// participates in every mapping-stage cache key (see stages.go).
@@ -139,6 +143,7 @@ type Plan struct {
 	floorCache  stageCache[int64, []int64]
 	fusionCache stageCache[fusionKey, fusion.Assignment]
 	powerCache  stageCache[powerKey, power.Breakdown]
+	kvCache     stageCache[uint64, []bool]
 }
 
 // Graph returns the workload graph the plan was compiled from.
@@ -242,6 +247,9 @@ func Compile(g *hlo.Graph, opts Options) (*Plan, error) {
 		if nb > 1 && pr.edgeBytes > 0 && !opts.WholeTensorFusion {
 			pr.resident = pr.edgeBytes / nb
 		}
+		if pr.io.KVBytes > 0 {
+			p.hasKV = true
+		}
 		p.regions = append(p.regions, pr)
 	}
 
@@ -334,6 +342,10 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, mapped []map
 	scratch := scratchPool.Get().(*evalScratch)
 	defer scratchPool.Put(scratch)
 	costs := scratch.regionCosts(len(p.regions))
+	var kvOK []bool
+	if p.hasKV {
+		kvOK = p.kvEligibleFor(cfg)
+	}
 	stats := make([]RegionStats, len(p.regions))
 	// One backing array serves every region's op shares (they escape
 	// into the Result, but as subslices of a single allocation).
@@ -424,7 +436,7 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, mapped []map
 			pinnable = false
 		}
 
-		dramPre := io.InputBytes + io.OutputBytes + io.WeightBytes + extraBytes
+		dramPre := io.InputBytes + io.OutputBytes + io.WeightBytes + io.KVBytes + extraBytes
 		tMax := maxf(computeSec, float64(dramPre)/perCoreBW)
 		// With every boundary tensor on chip the activation re-read
 		// extras disappear too; the floor is pure compute.
@@ -446,10 +458,17 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, mapped []map
 			// the tensor's only external consumer.
 			costs[ri].TEdgeWrite = float64(pr.edgeBytes) / perCoreBW
 		}
+		if kvOK != nil && kvOK[ri] {
+			// The region's KV-cache slab fits in Global Memory: offer it to
+			// the residency solver as a pin-like hold candidate.
+			costs[ri].KVBytes = io.KVBytes
+			costs[ri].TKVRead = float64(io.KVBytes) / perCoreBW
+		}
 		stats[ri] = RegionStats{
 			Region: pr.region, ComputeSec: computeSec, Shares: shares,
 			ExtraBytes:   extraBytes,
 			DRAMBytesPre: dramPre, SecPre: tMax, FLOPs: io.FLOPs,
+			KVBytes: io.KVBytes,
 		}
 		totalFLOPs += io.FLOPs
 		matrixFLOPs += io.MatrixFLOPs
@@ -470,6 +489,9 @@ func (p *Plan) evaluate(cfg *arch.Config, alg vpu.SoftmaxAlgorithm, mapped []map
 				pp := costs[ri].EdgeProducer
 				stats[pp].DRAMBytesPost -= costs[ri].EdgeBytes
 			}
+		}
+		if sol.KVOnChip != nil && sol.KVOnChip[ri] {
+			b -= costs[ri].KVBytes
 		}
 		stats[ri].DRAMBytesPost += b
 	}

@@ -57,6 +57,12 @@ func TestCompileEvaluateMatchesSimulate(t *testing.T) {
 		t.Skip("full differential sweep is not short")
 	}
 	for _, model := range models.Names() {
+		if models.UsesKVCache(model) {
+			// The frozen pre-split simulator predates KV-cache residency;
+			// decode workloads are pinned by their own golden results and
+			// the decode-vs-prefill differential in the models package.
+			continue
+		}
 		for _, cfg := range planDesigns() {
 			g := models.MustBuild(model, cfg.NativeBatch)
 			for optName, opts := range planOptionSets() {

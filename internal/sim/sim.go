@@ -77,6 +77,11 @@ type RegionStats struct {
 	DRAMBytesPre int64
 	// DRAMBytesPost is the traffic after fusion placements.
 	DRAMBytesPost int64
+	// KVBytes is the persistent KV-cache traffic the region reads per
+	// decode step (zero for encoder workloads). Included in
+	// DRAMBytesPre; removed from DRAMBytesPost when the fusion solution
+	// holds the cache slab in Global Memory (Fusion.KVOnChip).
+	KVBytes int64
 	// SecPre/SecPost are the region times before/after fusion.
 	SecPre, SecPost float64
 	FLOPs           int64

@@ -96,6 +96,13 @@ type powerKey struct {
 // native batch.
 var fusionParams = arch.AllParams &^ arch.MaskOf(arch.PNativeBatch)
 
+// kvParams is the sub-tuple the KV-eligibility stage reads: whether a
+// region's persistent KV-cache slab fits in Global Memory depends only
+// on the GM capacity. (The fusion stage that consumes the resulting cost
+// entries already folds PGlobal via fusionParams, so the fusion cache
+// key stays sound.)
+var kvParams = arch.MaskOf(arch.PGlobal)
+
 // fusionKey identifies one fusion-stage cache entry; alg distinguishes
 // the softmax variant (it changes vector times and DRAM extras, and so
 // the cost table).
@@ -216,6 +223,25 @@ func (p *Plan) powerFor(cfg *arch.Config) power.Breakdown {
 	h := mix(key.sub ^ uint64(key.cores)<<40 ^ uint64(key.mem)<<56)
 	return p.powerCache.get(h, key, func() power.Breakdown {
 		return p.pm.Evaluate(cfg)
+	})
+}
+
+// kvEligibleFor returns the KV-eligibility stage for cfg: per region,
+// whether its KV-cache slab is a viable Global-Memory hold candidate
+// (non-zero and within GM capacity). The slice is cache-owned and
+// read-only; plans without KV-cache reads never call this.
+//
+//fast:stage mask=kvParams
+func (p *Plan) kvEligibleFor(cfg *arch.Config) []bool {
+	key := cfg.SubKey(kvParams)
+	return p.kvCache.get(mix(key), key, func() []bool {
+		out := make([]bool, len(p.regions))
+		gm := cfg.GlobalBytes()
+		for i := range p.regions {
+			kv := p.regions[i].io.KVBytes
+			out[i] = kv > 0 && kv <= gm
+		}
+		return out
 	})
 }
 

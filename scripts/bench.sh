@@ -2,7 +2,7 @@
 # bench.sh — run the perf-trajectory benchmarks and emit BENCH_PR<N>.json.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR8.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_PR9.json in the repo root
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=10x scripts/bench.sh   # more iterations per benchmark
 #
@@ -16,13 +16,15 @@
 # (the parallel full-ILP reporting fan-out), distributed-worker scaling
 # (end-to-end fast-search trials/s at 1/2/4 fast-worker subprocesses,
 # plus a chaos-faulted run — the "cpus" field makes single-core numbers
-# self-describing), plus the PR 3 baseline for the search benchmark so
+# self-describing), the decoder-inference axis (end-to-end search
+# trials/s on gpt2-decode-1024 and the warm KV-cache-bound
+# Plan.Evaluate), plus the PR 3 baseline for the search benchmark so
 # the trajectory is self-describing. Override PR3_TRIALS_P1/
 # PR3_TRIALS_P4 when re-baselining on different hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR8.json}
+OUT=${1:-BENCH_PR9.json}
 BENCHTIME=${BENCHTIME:-10x}
 # PR 3 numbers measured on the reference box (single-core Xeon 2.10GHz),
 # see BENCH_PR3.json.
@@ -30,7 +32,7 @@ PR3_TRIALS_P1=${PR3_TRIALS_P1:-65874}
 PR3_TRIALS_P4=${PR3_TRIALS_P4:-68544}
 
 RAW=$(go test -run '^$' \
-	-bench 'BenchmarkSearchThroughput|^BenchmarkCompile$|^BenchmarkEvaluate$|^BenchmarkEvaluateBatch$|^BenchmarkFullILPEvaluate$' \
+	-bench 'BenchmarkSearchThroughput|^BenchmarkCompile$|^BenchmarkEvaluate$|^BenchmarkEvaluateBatch$|^BenchmarkFullILPEvaluate$|^BenchmarkDecodeSearchThroughput$|^BenchmarkDecodeEvaluate$' \
 	-benchtime "$BENCHTIME" -timeout 45m .)
 echo "$RAW"
 
@@ -89,9 +91,11 @@ function metric(unit,   i) { for (i = 1; i <= NF; i++) if ($(i+1) == unit) retur
 /^BenchmarkEvaluateBatch(-[0-9]+)?[ \t]/ { bev = $5; bal = allocs() }
 /^BenchmarkFullILPEvaluate\/sparse/      { sns = $3; snodes = metric("nodes/op") }
 /^BenchmarkFullILPEvaluate\/dense/       { dns = $3; dnodes = metric("nodes/op") }
+/^BenchmarkDecodeSearchThroughput(-[0-9]+)?[ \t]/ { dctp = metric("trials/s") }
+/^BenchmarkDecodeEvaluate(-[0-9]+)?[ \t]/         { dcns = $3 }
 /^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
 END {
-	if (tp1 == "" || tp4 == "" || cns == "" || ens == "" || bev == "" || sns == "" || dns == "") {
+	if (tp1 == "" || tp4 == "" || cns == "" || ens == "" || bev == "" || sns == "" || dns == "" || dctp == "" || dcns == "") {
 		print "bench.sh: missing benchmark output" > "/dev/stderr"
 		exit 1
 	}
@@ -100,7 +104,7 @@ END {
 		exit 1
 	}
 	printf "{\n" > out
-	printf "  \"pr\": 8,\n" >> out
+	printf "  \"pr\": 9,\n" >> out
 	printf "  \"benchmark\": \"BenchmarkSearchThroughput (efficientnet-b0, LCS, 64 trials)\",\n" >> out
 	printf "  \"benchtime\": \"%s\",\n", bt >> out
 	printf "  \"cpu\": \"%s\",\n", cpu >> out
@@ -126,6 +130,11 @@ END {
 	printf "    \"efficiency_4w\": %.2f\n", ws4 / ws1 / 4 >> out
 	printf "  },\n" >> out
 	printf "  \"faulted_trials_s\": %s,\n", wsf >> out
+	printf "  \"decode\": {\n" >> out
+	printf "    \"benchmark\": \"gpt2-decode-1024: BenchmarkDecodeSearchThroughput (LCS, 64 trials) + warm BenchmarkDecodeEvaluate on fast-decode\",\n" >> out
+	printf "    \"search_trials_per_sec\": %s,\n", dctp >> out
+	printf "    \"evaluate_warm_ns_per_op\": %s\n", dcns >> out
+	printf "  },\n" >> out
 	printf "  \"allocs_per_op\": {\"compile\": %s, \"evaluate_warm\": %s, \"evaluate_batch\": %s}\n", cal, eal, bal >> out
 	printf "}\n" >> out
 	printf "wrote %s\n", out

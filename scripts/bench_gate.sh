@@ -120,7 +120,8 @@ if [ -z "$baseline" ]; then
 	fi
 	# Baselines are parsed field-wise: only the two keys below are read,
 	# so newer BENCH_PR*.json fields (workers_scaling, faulted_trials_s,
-	# …) are optional and older baselines without them still gate. The
+	# decode, …) are optional and older baselines without them still
+	# gate. The
 	# anchored {"parallel_1" brace keeps workers_scaling's own nested
 	# trials_per_sec object from matching.
 	baseline=$(sed -n 's/.*"trials_per_sec": {"parallel_1": \([0-9.]*\).*/\1/p' "$BASELINE_JSON")

@@ -3,9 +3,11 @@
 # checked-in floor (same spirit as bench_gate.sh for perf).
 #
 # The floor is deliberately a couple of points under the current total
-# (~83%) so routine churn passes but a PR that lands a subsystem without
-# tests does not. Raise the floor when coverage grows; never lower it to
-# make a PR pass — add tests instead.
+# (~82% with the decoder/KV-cache subsystem included — the new builders
+# themselves measure 94-98% and take no exclusions) so routine churn
+# passes but a PR that lands a subsystem without tests does not. Raise
+# the floor when coverage grows; never lower it to make a PR pass — add
+# tests instead.
 #
 # Knobs:
 #   COVER_GATE_FLOOR=78 scripts/cover_gate.sh      # override the floor (%)
