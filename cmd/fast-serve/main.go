@@ -63,6 +63,11 @@ func main() {
 		maxStudies   = flag.Int("max-studies", 64, "stored studies allowed per tenant")
 		maxActive    = flag.Int("max-active", 2, "concurrently running studies per tenant")
 		maxTrials    = flag.Int("max-trials", 2000, "trial budget allowed per study")
+		maxQueued    = flag.Int("max-queued", 8, "studies allowed to wait per tenant before submissions shed 429")
+		trialsPerSec = flag.Float64("trials-per-sec", 0, "per-tenant checkpointed trial rate limit (0 = unthrottled)")
+		maxCkptBytes = flag.Int64("max-checkpoint-bytes", 0, "per-study transcript byte quota (0 = unbounded)")
+		memLimit     = flag.Int64("mem-limit-bytes", 0, "heap bytes above which admission pauses and caches shrink (0 = off)")
+		retryAfter   = flag.Duration("retry-after", 5*time.Second, "Retry-After hint on shed responses")
 		cacheEntries = flag.Int("cache-entries", 0, "plan cache entry budget (0 = unbounded)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "plan cache byte budget (0 = unbounded)")
 		workers      = flag.Int("workers", 0, "spawn N fast-worker subprocesses for trial evaluation (0 = in-process)")
@@ -90,6 +95,11 @@ func main() {
 		MaxStudiesPerTenant: *maxStudies,
 		MaxActivePerTenant:  *maxActive,
 		MaxTrialsPerStudy:   *maxTrials,
+		MaxQueuedPerTenant:  *maxQueued,
+		MaxTrialsPerSec:     *trialsPerSec,
+		MaxCheckpointBytes:  *maxCkptBytes,
+		MemoryLimitBytes:    *memLimit,
+		RetryAfter:          *retryAfter,
 		Parallelism:         *parallel,
 		Logf:                log.Printf,
 	}

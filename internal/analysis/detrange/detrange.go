@@ -36,6 +36,12 @@ var Scope = []string{
 	// dispatch folds worker replies back into positional result slots;
 	// map iteration there must never decide anything observable.
 	"fast/internal/dispatch",
+	// serve fans studies and events out of maps; iteration order must
+	// never reach listings, transcripts, or event payloads unaudited.
+	"fast/internal/serve",
+	// chaoshttp compares faulted transcripts byte-for-byte; any
+	// order-sensitive fold there would fake (or mask) divergence.
+	"fast/internal/chaoshttp",
 }
 
 // Analyzer is the detrange pass.

@@ -295,7 +295,7 @@ func (s *Study) Run(ctx context.Context, opts ...Option) (*StudyResult, error) {
 	// once so the per-trial hot path only does a map lookup.
 	objective, batchObjective := s.makeObjectives(base, pm, budget, simOpts, simOpts.Fingerprint())
 	if rc.dispatch != nil {
-		batchObjective = rc.dispatch(s.evalSpec(base, budget, simOpts), batchObjective)
+		batchObjective = rc.dispatch(ctx, s.evalSpec(base, budget, simOpts), batchObjective)
 	}
 
 	alg := s.Algorithm

@@ -22,6 +22,7 @@ package core
 // the Runner (ask order, tell order, memoization) is inherited as-is.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -149,13 +150,18 @@ func BuildBatchEvaluator(sp EvalSpec) (search.BatchObjective, error) {
 }
 
 // DispatchFunc lets a dispatcher interpose on a Run's batch evaluation:
-// it receives the study's resolved EvalSpec and the in-process batch
-// objective (the semantic ground truth and the degradation fallback) and
-// returns the batch objective the Runner will call. Implementations must
-// preserve the BatchObjective contract — exactly one Evaluation per
-// index vector, positionally aligned, equal to what the local objective
-// would have returned.
-type DispatchFunc func(spec EvalSpec, local search.BatchObjective) search.BatchObjective
+// it receives the Run's context, the study's resolved EvalSpec, and the
+// in-process batch objective (the semantic ground truth and the
+// degradation fallback) and returns the batch objective the Runner will
+// call. Implementations must preserve the BatchObjective contract —
+// exactly one Evaluation per index vector, positionally aligned, equal
+// to what the local objective would have returned — with one carve-out:
+// once ctx is done, the Runner abandons the in-flight batch untold, so
+// a dispatcher that observes cancellation may return placeholder
+// evaluations (still one per point) instead of finishing remote work.
+// ctx carries the Run's deadline, letting dispatchers clamp per-chunk
+// timeouts so a canceled or deadlined study stops burning workers.
+type DispatchFunc func(ctx context.Context, spec EvalSpec, local search.BatchObjective) search.BatchObjective
 
 // WithDispatch routes one Run's batch evaluation through f (see
 // internal/dispatch for the worker-pool implementation). Dispatch is

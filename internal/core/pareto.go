@@ -79,7 +79,7 @@ func (s *Study) runMulti(ctx context.Context, rc runConfig, base *arch.Config, p
 
 	objective, batchObjective := s.makeMultiObjectives(base, pm, budget, simOpts, simOpts.Fingerprint())
 	if rc.dispatch != nil {
-		batchObjective = rc.dispatch(s.evalSpec(base, budget, simOpts), batchObjective)
+		batchObjective = rc.dispatch(ctx, s.evalSpec(base, budget, simOpts), batchObjective)
 	}
 
 	alg := s.Algorithm

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"fast/internal/arch"
+	"fast/internal/fault"
 	"fast/internal/search"
 )
 
@@ -100,10 +101,25 @@ type Runner struct {
 	Warm []search.Trial
 }
 
+// runChunk evaluates one chunk, converting a panicking objective into
+// an error (classified terminal: re-evaluating the same points panics
+// again) instead of letting it unwind the worker goroutine and kill the
+// whole process.
+func runChunk(batchObj search.BatchObjective, idxs [][arch.NumParams]int) (evs []search.Evaluation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fault.FromPanic("core.objective", r)
+		}
+	}()
+	return batchObj(idxs), nil
+}
+
 // Run executes up to r.Trials evaluations. On context cancellation it
 // stops promptly — in-flight evaluations finish, the unfinished batch is
 // abandoned untold — and returns the partial history together with
-// ctx.Err().
+// ctx.Err(). A panicking Objective/BatchObjective does not crash the
+// process: the panic surfaces as Run's returned error (terminal under
+// the fault taxonomy) with the already-told batches intact.
 func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 	var res search.Result
 	if r.Optimizer == nil || r.Objective == nil {
@@ -193,6 +209,15 @@ func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 			nChunks := (len(work) + chunk - 1) / chunk
 			var next atomic.Int64
 			next.Store(-1)
+			// A panicking objective must not kill the process: the worker
+			// converts the panic to an error, the remaining workers drain
+			// via the quarantine context, and Run returns the error so the
+			// caller can fail just this study. The batch is abandoned
+			// untold, exactly as on cancellation, so the durable
+			// transcript stays a prefix of the unfaulted run's.
+			workCtx, stopWork := context.WithCancel(ctx)
+			var panicOnce sync.Once
+			var panicErr error
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
@@ -200,7 +225,7 @@ func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 					defer wg.Done()
 					for {
 						ci := int(next.Add(1))
-						if ci >= nChunks || ctx.Err() != nil {
+						if ci >= nChunks || workCtx.Err() != nil {
 							return
 						}
 						lo := ci * chunk
@@ -208,15 +233,26 @@ func (r *Runner) Run(ctx context.Context) (search.Result, error) {
 						if hi > len(work) {
 							hi = len(work)
 						}
-						got := batchObj(work[lo:hi])
-						if len(got) != hi-lo {
-							panic(fmt.Sprintf("core: BatchObjective returned %d evaluations for %d points", len(got), hi-lo))
+						got, err := runChunk(batchObj, work[lo:hi])
+						if err == nil && len(got) != hi-lo {
+							err = fmt.Errorf("core: BatchObjective returned %d evaluations for %d points", len(got), hi-lo)
+						}
+						if err != nil {
+							panicOnce.Do(func() {
+								panicErr = err
+								stopWork()
+							})
+							return
 						}
 						copy(outs[lo:hi], got)
 					}
 				}()
 			}
 			wg.Wait()
+			stopWork()
+			if panicErr != nil {
+				return res, panicErr
+			}
 			if err := ctx.Err(); err != nil {
 				// Abandon the batch: some points may be unevaluated, and
 				// telling a partial batch would make the transcript

@@ -31,6 +31,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -280,9 +281,13 @@ func (p *Pool) Close() {
 // Dispatch adapts the pool to core.WithDispatch: it registers the
 // study's eval spec under its content fingerprint and returns a batch
 // objective that ships chunks to the pool, keeping the in-process
-// objective as the degradation fallback.
+// objective as the degradation fallback. The Run's context rides along
+// into every chunk: per-attempt deadlines are clamped to the context's
+// remaining time, and a canceled context stops remote work immediately
+// (the Runner abandons the batch, so the placeholder evaluations a
+// canceled chunk returns are never told to the optimizer).
 func (p *Pool) Dispatch() core.DispatchFunc {
-	return func(spec core.EvalSpec, local search.BatchObjective) search.BatchObjective {
+	return func(ctx context.Context, spec core.EvalSpec, local search.BatchObjective) search.BatchObjective {
 		raw, err := spec.Marshal()
 		if err != nil {
 			// An unserializable spec cannot leave the process; evaluate
@@ -295,17 +300,50 @@ func (p *Pool) Dispatch() core.DispatchFunc {
 		p.specs[fp] = raw
 		p.specMu.Unlock()
 		return func(idxs [][arch.NumParams]int) []search.Evaluation {
-			return p.Do(fp, idxs, local)
+			return p.Do(ctx, fp, idxs, local)
 		}
 	}
 }
 
+// abandoned returns placeholder evaluations for a chunk whose context
+// ended. Safe by construction: context doneness is monotone, so the
+// Runner — which re-checks ctx after the worker pool drains — discards
+// the whole batch untold and the placeholders never reach the
+// transcript.
+func abandoned(n int) []search.Evaluation {
+	return make([]search.Evaluation, n)
+}
+
+// attemptTimeout clamps the per-attempt chunk deadline to ctx's
+// remaining time; ok=false means the context is already over budget.
+func (p *Pool) attemptTimeout(ctx context.Context) (time.Duration, bool) {
+	timeout := p.opts.ChunkTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		// The study deadline bounds scheduling only; evaluations carry no
+		// timestamps, so clamping attempts cannot reach the transcript.
+		//fast:allow nondetsource study-deadline clamp gates retry scheduling, never evaluation values
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return 0, false
+		}
+		if rem < timeout {
+			timeout = rem
+		}
+	}
+	return timeout, true
+}
+
 // Do evaluates one chunk remotely, retrying/hedging across workers, and
 // returns exactly one Evaluation per index vector. It never fails: out
-// of attempts or out of workers, it falls back to local.
-func (p *Pool) Do(fp string, idxs [][arch.NumParams]int, local search.BatchObjective) []search.Evaluation {
+// of attempts or out of workers, it falls back to local. A done ctx is
+// the one exception — the chunk returns placeholder evaluations that
+// the Runner's own cancellation check discards (see abandoned).
+func (p *Pool) Do(ctx context.Context, fp string, idxs [][arch.NumParams]int, local search.BatchObjective) []search.Evaluation {
 	if len(idxs) == 0 {
 		return nil
+	}
+	if ctx.Err() != nil {
+		return abandoned(len(idxs))
 	}
 	if p.closed.Load() {
 		return local(idxs)
@@ -321,9 +359,16 @@ func (p *Pool) Do(fp string, idxs [][arch.NumParams]int, local search.BatchObjec
 	for round := 1; round <= p.opts.MaxAttempts; round++ {
 		if round > 1 {
 			p.mRetries.Add(1)
-			if !p.sleep(p.backoff(round - 1)) {
+			if !p.sleepCtx(ctx, p.backoff(round-1)) {
+				if ctx.Err() != nil {
+					return abandoned(len(idxs))
+				}
 				break // pool closing
 			}
+		}
+		timeout, ok := p.attemptTimeout(ctx)
+		if !ok {
+			return abandoned(len(idxs))
 		}
 		s := p.acquire()
 		if s == nil {
@@ -343,15 +388,23 @@ func (p *Pool) Do(fp string, idxs [][arch.NumParams]int, local search.BatchObjec
 		outstanding++
 
 		hedge := newHedgeTimer(p.opts.HedgeAfter)
-		deadline := time.NewTimer(p.opts.ChunkTimeout)
+		deadline := time.NewTimer(timeout)
 		waiting := true
 		for waiting {
-			// The three-way race below — first reply wins against the
-			// hedge and deadline timers — is the robustness mechanism
-			// itself. It cannot reach the transcript: whichever attempt
-			// answers carries the same deterministic evaluations.
+			// The four-way race below — first reply wins against the
+			// hedge and deadline timers and the study's own context — is
+			// the robustness mechanism itself. It cannot reach the
+			// transcript: whichever attempt answers carries the same
+			// deterministic evaluations, and a context win abandons the
+			// batch entirely.
 			//fast:allow nondetsource first-reply-wins race among attempts of one chunk; all replies carry identical evaluations
 			select {
+			case <-ctx.Done():
+				// Client gone or study deadline passed: stop burning
+				// workers on a batch nobody will consume.
+				hedge.Stop()
+				deadline.Stop()
+				return abandoned(len(idxs))
 			case o := <-ck.ch:
 				if _, mine := live[o.id]; !mine {
 					continue // stale attempt from an earlier round
@@ -799,6 +852,22 @@ func (p *Pool) sleep(d time.Duration) bool {
 	case <-t.C:
 		return true
 	case <-p.closing:
+		return false
+	}
+}
+
+// sleepCtx is sleep that additionally wakes when ctx ends (the chunk's
+// study was canceled or deadlined mid-backoff).
+func (p *Pool) sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	//fast:allow nondetsource retry backoff timer; delays scheduling only, never evaluation values
+	select {
+	case <-t.C:
+		return true
+	case <-p.closing:
+		return false
+	case <-ctx.Done():
 		return false
 	}
 }

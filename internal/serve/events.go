@@ -64,6 +64,7 @@ func (h *eventHub) subscribe() (<-chan event, func()) {
 // publish delivers e to every subscriber that has buffer room.
 func (h *eventHub) publish(e event) {
 	h.mu.Lock()
+	//fast:allow detrange subscribers are independent sinks; delivery order between them is unobservable
 	for ch := range h.subs {
 		select {
 		case ch <- e:
@@ -134,6 +135,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, st *study) {
 	hb := time.NewTicker(sseHeartbeat)
 	defer hb.Stop()
 	for {
+		//fast:allow nondetsource SSE delivery races heartbeats and disconnects; the durable record is the transcript
 		select {
 		case e, open := <-ch:
 			if !open {

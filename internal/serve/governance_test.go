@@ -1,0 +1,413 @@
+package serve
+
+// Tests for the resource-governance layer: admission shedding with
+// Retry-After, the memory watchdog, study deadlines, checkpoint-byte
+// quotas, panic quarantine, trial-rate pacing, and SSE behaviour under
+// client disconnects and concurrent cancels.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fast/internal/store"
+)
+
+// leakCheck fails the test if goroutines spawned during it are still
+// alive once every deferred shutdown has run. Register it first so its
+// cleanup runs last (after the deferred ts.stop()).
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// postJSON performs one POST and returns the raw response plus the
+// decoded body, so callers can assert on headers (Retry-After).
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out) //nolint:errcheck // some replies have empty bodies
+	return resp, out
+}
+
+// waitTerminal polls until the study reaches any terminal state
+// (waitFor fatals on "failed", which several governance tests expect).
+func waitTerminal(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		sum := doJSON(t, "GET", base+"/v1/studies/"+id, nil, http.StatusOK)
+		switch sum["state"] {
+		case store.StateDone, store.StateFailed, store.StateCanceled, store.StateInterrupted:
+			return sum
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for a terminal state on study %s", id)
+	return nil
+}
+
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	vars := doJSON(t, "GET", base+"/debug/vars", nil, http.StatusOK)
+	v, _ := vars[name].(float64)
+	return v
+}
+
+func smallSpec(id string, trials, batch int) map[string]any {
+	return map[string]any{
+		"id": id, "workloads": []string{"mobilenetv2"},
+		"algorithm": "lcs", "trials": trials, "seed": 5, "batch_size": batch,
+	}
+}
+
+// TestShedQueueFull: submissions beyond the per-tenant queue bound are
+// shed 429 with a Retry-After hint while in-quota studies keep running.
+func TestShedQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	ts := newTestServer(t, t.TempDir(), func(c *Config) {
+		c.MaxStudiesPerTenant = 10
+		c.MaxActivePerTenant = 1
+		c.MaxQueuedPerTenant = 1
+		c.RetryAfter = 7 * time.Second
+		c.batchHook = func(tenant, _ string) {
+			if tenant == "default" {
+				<-release
+			}
+		}
+	})
+	defer ts.stop()
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	base := ts.http.URL
+
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("g1", 600, 8), http.StatusCreated)
+	waitFor(t, base, "g1", "g1 running", stateIs(store.StateRunning))
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("g2", 600, 8), http.StatusCreated)
+
+	resp, body := postJSON(t, base+"/v1/studies", smallSpec("g3", 600, 8))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-queue submit = %d, want 429 (body %v)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "queue full") {
+		t.Errorf("shed body = %v, want queue-full error", body)
+	}
+	if n := metricValue(t, base, "fastserve_shed_queue_total"); n < 1 {
+		t.Errorf("fastserve_shed_queue_total = %v, want >= 1", n)
+	}
+	if n := metricValue(t, base, "fastserve_shed_total"); n < 1 {
+		t.Errorf("fastserve_shed_total = %v, want >= 1", n)
+	}
+
+	// The shed did not disturb the in-quota studies.
+	close(release)
+	released = true
+	waitFor(t, base, "g1", "g1 done", stateIs(store.StateDone))
+	waitFor(t, base, "g2", "g2 done", stateIs(store.StateDone))
+}
+
+// TestWatchdogPausesAdmission: above the memory limit creates and
+// resumes shed 503 + Retry-After; below 80% of the limit admission
+// reopens. The memUsage seam drives the policy deterministically.
+func TestWatchdogPausesAdmission(t *testing.T) {
+	var mem atomic.Uint64
+	mem.Store(50)
+	ts := newTestServer(t, t.TempDir(), func(c *Config) {
+		c.MemoryLimitBytes = 100
+		c.watchdogEvery = time.Hour // driven manually via checkMemory
+		c.memUsage = func() uint64 { return mem.Load() }
+	})
+	defer ts.stop()
+	base := ts.http.URL
+
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("w1", 8, 4), http.StatusCreated)
+	waitTerminal(t, base, "w1")
+
+	mem.Store(200)
+	ts.srv.checkMemory()
+	resp, body := postJSON(t, base+"/v1/studies", smallSpec("w2", 8, 4))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("paused submit = %d, want 503 (body %v)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("paused submit missing Retry-After")
+	}
+	if code := rawStatus(t, "POST", base+"/v1/studies/w1/resume", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("paused resume = %d, want 503", code)
+	}
+	if v := metricValue(t, base, "fastserve_watchdog_paused"); v != 1 {
+		t.Errorf("fastserve_watchdog_paused = %v, want 1", v)
+	}
+	if n := metricValue(t, base, "fastserve_shed_overload_total"); n < 2 {
+		t.Errorf("fastserve_shed_overload_total = %v, want >= 2", n)
+	}
+
+	// 85 is inside the hysteresis band: still paused.
+	mem.Store(85)
+	ts.srv.checkMemory()
+	if code := rawStatus(t, "POST", base+"/v1/studies", smallSpec("w3", 8, 4)); code != http.StatusServiceUnavailable {
+		t.Errorf("in-band submit = %d, want 503 (hysteresis)", code)
+	}
+
+	mem.Store(50)
+	ts.srv.checkMemory()
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("w4", 8, 4), http.StatusCreated)
+	waitTerminal(t, base, "w4")
+	if v := metricValue(t, base, "fastserve_watchdog_paused"); v != 0 {
+		t.Errorf("fastserve_watchdog_paused = %v after recovery, want 0", v)
+	}
+}
+
+// TestStudyDeadline: a study whose wall-clock deadline fires mid-run
+// fails with a retryable deadline error and keeps its durable prefix.
+func TestStudyDeadline(t *testing.T) {
+	ts := newTestServer(t, t.TempDir(), func(c *Config) {
+		// Pace batches so the 100ms deadline lands mid-study.
+		c.batchHook = func(string, string) { time.Sleep(20 * time.Millisecond) }
+	})
+	defer ts.stop()
+	base := ts.http.URL
+
+	spec := smallSpec("dl", 600, 8)
+	spec["deadline_sec"] = 0.1
+	doJSON(t, "POST", base+"/v1/studies", spec, http.StatusCreated)
+	sum := waitTerminal(t, base, "dl")
+	if sum["state"] != store.StateFailed {
+		t.Fatalf("state = %v, want failed", sum["state"])
+	}
+	if msg, _ := sum["error"].(string); !strings.Contains(msg, "deadline exceeded") {
+		t.Errorf("error = %q, want deadline message", msg)
+	}
+	if cls, _ := sum["error_class"].(string); cls != "retryable" {
+		t.Errorf("error_class = %q, want retryable", cls)
+	}
+	if n := metricValue(t, base, "fastserve_deadline_expired_total"); n < 1 {
+		t.Errorf("fastserve_deadline_expired_total = %v, want >= 1", n)
+	}
+	if done, _ := sum["trials_done"].(float64); done < 8 {
+		t.Errorf("trials_done = %v, want the durable prefix (>= 8)", done)
+	}
+}
+
+// TestCheckpointQuota: a study that exceeds its transcript byte quota
+// fails terminally with the batch that crossed the line still durable,
+// and resumes to completion under a raised limit after a restart.
+func TestCheckpointQuota(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, dir, func(c *Config) { c.MaxCheckpointBytes = 1 })
+	base := ts.http.URL
+
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("cq", 8, 4), http.StatusCreated)
+	sum := waitTerminal(t, base, "cq")
+	if sum["state"] != store.StateFailed {
+		t.Fatalf("state = %v, want failed", sum["state"])
+	}
+	if msg, _ := sum["error"].(string); !strings.Contains(msg, "checkpoint quota exceeded") {
+		t.Errorf("error = %q, want checkpoint-quota message", msg)
+	}
+	if cls, _ := sum["error_class"].(string); cls != "terminal" {
+		t.Errorf("error_class = %q, want terminal", cls)
+	}
+	if n := metricValue(t, base, "fastserve_checkpoint_quota_total"); n != 1 {
+		t.Errorf("fastserve_checkpoint_quota_total = %v, want 1", n)
+	}
+	if done, _ := sum["trials_done"].(float64); done < 4 {
+		t.Errorf("trials_done = %v, want the crossing batch durable (>= 4)", done)
+	}
+	doJSON(t, "GET", base+"/healthz", nil, http.StatusOK)
+	ts.stop()
+
+	// Restart with the quota raised: the durable prefix resumes.
+	ts2 := newTestServer(t, dir, nil)
+	defer ts2.stop()
+	doJSON(t, "POST", ts2.http.URL+"/v1/studies/cq/resume", nil, http.StatusAccepted)
+	final := waitTerminal(t, ts2.http.URL, "cq")
+	if final["state"] != store.StateDone {
+		t.Fatalf("resumed state = %v (err %v), want done", final["state"], final["error"])
+	}
+	if done, _ := final["trials_done"].(float64); int(done) != 8 {
+		t.Errorf("resumed trials_done = %v, want 8", done)
+	}
+}
+
+// TestPanicQuarantine: a panic inside one study's drive fails that
+// study terminally and leaves the daemon serving other studies.
+func TestPanicQuarantine(t *testing.T) {
+	ts := newTestServer(t, t.TempDir(), func(c *Config) {
+		c.batchHook = func(_, id string) {
+			if id == "boom" {
+				panic("objective exploded")
+			}
+		}
+	})
+	defer ts.stop()
+	base := ts.http.URL
+
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("boom", 8, 4), http.StatusCreated)
+	sum := waitTerminal(t, base, "boom")
+	if sum["state"] != store.StateFailed {
+		t.Fatalf("state = %v, want failed", sum["state"])
+	}
+	if msg, _ := sum["error"].(string); !strings.Contains(msg, "panic") {
+		t.Errorf("error = %q, want panic message", msg)
+	}
+	if cls, _ := sum["error_class"].(string); cls != "terminal" {
+		t.Errorf("error_class = %q, want terminal", cls)
+	}
+	if n := metricValue(t, base, "fastserve_studies_quarantined_total"); n != 1 {
+		t.Errorf("fastserve_studies_quarantined_total = %v, want 1", n)
+	}
+
+	// The daemon survived and other studies still run to completion.
+	doJSON(t, "GET", base+"/healthz", nil, http.StatusOK)
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("fine", 8, 4), http.StatusCreated)
+	waitFor(t, base, "fine", "fine done", stateIs(store.StateDone))
+}
+
+// TestThrottleDeterminism: the per-tenant trial-rate limit delays
+// checkpoints without changing them — a throttled run's transcript is
+// byte-identical to an unthrottled run's.
+func TestThrottleDeterminism(t *testing.T) {
+	spec := smallSpec("tr", 16, 8)
+
+	dirA := t.TempDir()
+	a := newTestServer(t, dirA, nil)
+	doJSON(t, "POST", a.http.URL+"/v1/studies", spec, http.StatusCreated)
+	waitFor(t, a.http.URL, "tr", "unthrottled done", stateIs(store.StateDone))
+	a.stop()
+
+	dirB := t.TempDir()
+	b := newTestServer(t, dirB, func(c *Config) { c.MaxTrialsPerSec = 50 })
+	defer b.stop()
+	doJSON(t, "POST", b.http.URL+"/v1/studies", spec, http.StatusCreated)
+	waitFor(t, b.http.URL, "tr", "throttled done", stateIs(store.StateDone))
+	if n := metricValue(t, b.http.URL, "fastserve_throttle_waits_total"); n < 1 {
+		t.Errorf("fastserve_throttle_waits_total = %v, want >= 1", n)
+	}
+
+	read := func(dir string) string {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, "default", "tr", "transcript.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if ta, tb := read(dirA), read(dirB); ta != tb {
+		t.Errorf("throttled transcript differs from unthrottled:\n--- unthrottled\n%s\n--- throttled\n%s", ta, tb)
+	}
+}
+
+// TestSSEDisconnectAndConcurrentCancel: an abrupt client disconnect
+// mid-stream leaks nothing, and a cancel racing a live subscriber
+// still delivers the terminal frame.
+func TestSSEDisconnectAndConcurrentCancel(t *testing.T) {
+	leakCheck(t)
+	hold := make(chan struct{})
+	ts := newTestServer(t, t.TempDir(), func(c *Config) {
+		c.batchHook = func(_, id string) {
+			if id == "sse2" {
+				<-hold
+			}
+		}
+	})
+	defer ts.stop()
+	held := true
+	defer func() {
+		if held {
+			close(hold)
+		}
+	}()
+	base := ts.http.URL
+
+	doJSON(t, "POST", base+"/v1/studies", smallSpec("sse2", 600, 8), http.StatusCreated)
+	waitFor(t, base, "sse2", "sse2 running", stateIs(store.StateRunning))
+
+	// Two subscribers; both see the opening state frame.
+	openStream := func() (*http.Response, *bufio.Reader) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/studies/sse2/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events = %d, want 200", resp.StatusCode)
+		}
+		rd := bufio.NewReader(resp.Body)
+		line, err := rd.ReadString('\n')
+		if err != nil || !strings.HasPrefix(line, "event: state") {
+			t.Fatalf("opening frame = %q (err %v), want state event", line, err)
+		}
+		return resp, rd
+	}
+	respA, _ := openStream()
+	respB, rdB := openStream()
+
+	// A disconnects abruptly mid-stream; its handler must exit via the
+	// request context without disturbing the hub or the study.
+	respA.Body.Close()
+
+	// Cancel while B is still subscribed, then release the parked batch
+	// so the run goroutine can observe the cancellation.
+	if code := rawStatus(t, "POST", base+"/v1/studies/sse2/cancel", nil); code != http.StatusAccepted {
+		t.Fatalf("cancel = %d, want 202", code)
+	}
+	close(hold)
+	held = false
+
+	// B receives the terminal "done" frame for the canceled study.
+	sawDone := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		line, err := rdB.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if strings.HasPrefix(line, "event: done") {
+			sawDone = true
+			break
+		}
+	}
+	respB.Body.Close()
+	if !sawDone {
+		t.Error("subscriber B never saw the terminal done frame")
+	}
+	waitFor(t, base, "sse2", "canceled", stateIs(store.StateCanceled))
+	doJSON(t, "GET", base+"/healthz", nil, http.StatusOK)
+}

@@ -76,6 +76,10 @@ type summaryJSON struct {
 	BestValue    float64  `json:"best_value"`
 	BestFeasible bool     `json:"best_feasible"`
 	Error        string   `json:"error,omitempty"`
+	// ErrorClass carries the fault taxonomy of Error: "retryable"
+	// (resubmitting/resuming can succeed), "terminal" (it cannot), or
+	// "unknown" (unclassified; treat as terminal).
+	ErrorClass string `json:"error_class,omitempty"`
 }
 
 func (s *Server) summaryLocked(st *study) summaryJSON {
@@ -93,6 +97,7 @@ func (s *Server) summaryLocked(st *study) summaryJSON {
 		BestValue:    st.bestValue,
 		BestFeasible: st.bestFeasible,
 		Error:        st.errMsg,
+		ErrorClass:   st.errClass,
 	}
 }
 
@@ -128,6 +133,14 @@ type createRequest struct {
 	BatchSize       int      `json:"batch_size"`
 	FrontCap        int      `json:"front_cap"`
 	LatencyBoundSec float64  `json:"latency_bound_sec"`
+	// DeadlineSec bounds the study's wall-clock run time (0 = none).
+	// A study that hits it fails with a retryable "deadline exceeded"
+	// error; the durable prefix stays resumable.
+	DeadlineSec float64 `json:"deadline_sec"`
+	// ILPDeadlineSec bounds each final-report exact-ILP fusion solve
+	// (0 = simulator default). Spec-fixed so resumes solve under the
+	// same deadline the original run would have.
+	ILPDeadlineSec float64 `json:"ilp_deadline_sec"`
 }
 
 var validAlgorithms = map[string]bool{
@@ -164,6 +177,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
 		return
 	}
+	if req.DeadlineSec < 0 || req.ILPDeadlineSec < 0 {
+		httpError(w, http.StatusBadRequest, "deadline_sec and ilp_deadline_sec must be >= 0")
+		return
+	}
 	sp := store.Spec{
 		Tenant:          req.Tenant,
 		ID:              req.ID,
@@ -176,6 +193,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		BatchSize:       req.BatchSize,
 		FrontCap:        req.FrontCap,
 		LatencyBoundSec: req.LatencyBoundSec,
+		DeadlineSec:     req.DeadlineSec,
+		ILPDeadlineSec:  req.ILPDeadlineSec,
 		Created:         s.now(),
 	}
 	// Parse objectives now so an unknown name is a 400, not a failed
@@ -191,6 +210,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
+	if s.paused.Load() {
+		s.mu.Unlock()
+		s.metrics.shedOverload.Inc()
+		s.shed(w, http.StatusServiceUnavailable, "daemon under memory pressure; admission paused")
+		return
+	}
 	owned := 0
 	for _, st := range s.studies {
 		if st.tenant == sp.Tenant {
@@ -199,7 +224,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if owned >= s.cfg.MaxStudiesPerTenant {
 		s.mu.Unlock()
-		httpError(w, http.StatusTooManyRequests, "tenant %s at its study quota (%d)", sp.Tenant, s.cfg.MaxStudiesPerTenant)
+		s.metrics.shedStudyQuota.Inc()
+		s.shed(w, http.StatusTooManyRequests, "tenant %s at its study quota (%d)", sp.Tenant, s.cfg.MaxStudiesPerTenant)
+		return
+	}
+	if s.queuedLocked(sp.Tenant) >= s.cfg.MaxQueuedPerTenant {
+		s.mu.Unlock()
+		s.metrics.shedQueue.Inc()
+		s.shed(w, http.StatusTooManyRequests, "tenant %s queue full (%d studies waiting)", sp.Tenant, s.cfg.MaxQueuedPerTenant)
 		return
 	}
 	if sp.ID == "" {
@@ -244,6 +276,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	s.mu.Lock()
 	var out []summaryJSON
+	//fast:allow detrange listing is sorted by ID immediately below
 	for _, st := range s.studies {
 		if st.tenant == tenant {
 			out = append(out, s.summaryLocked(st))
@@ -326,11 +359,23 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
+	if s.paused.Load() {
+		s.mu.Unlock()
+		s.metrics.shedOverload.Inc()
+		s.shed(w, http.StatusServiceUnavailable, "daemon under memory pressure; admission paused")
+		return
+	}
 	switch st.state {
 	case store.StateQueued, store.StateRunning:
 		state := st.state
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "study is %s", state)
+		return
+	}
+	if s.queuedLocked(st.tenant) >= s.cfg.MaxQueuedPerTenant {
+		s.mu.Unlock()
+		s.metrics.shedQueue.Inc()
+		s.shed(w, http.StatusTooManyRequests, "tenant %s queue full (%d studies waiting)", st.tenant, s.cfg.MaxQueuedPerTenant)
 		return
 	}
 	target := st.trialsTarget
@@ -339,6 +384,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	}
 	st.state = store.StateQueued
 	st.errMsg = ""
+	st.errClass = ""
 	st.trialsDone = len(snap.Trials)
 	st.trialsTarget = target
 	st.hub = newEventHub() // prior hub was closed at the terminal state

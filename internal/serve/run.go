@@ -3,21 +3,36 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"fast/internal/core"
+	"fast/internal/fault"
 	"fast/internal/search"
 	"fast/internal/store"
 )
 
 // now stamps status records; the store itself never reads the clock.
-func (s *Server) now() string { return time.Now().UTC().Format(time.RFC3339) }
+func (s *Server) now() string {
+	//fast:allow nondetsource status timestamps are operator metadata, never search state
+	return time.Now().UTC().Format(time.RFC3339)
+}
 
 // launchLocked queues one run of st (fresh or resumed). Caller holds
 // s.mu and has already set st.state = queued and the trial fields; this
 // installs the cancel handle and starts the goroutine.
 func (s *Server) launchLocked(st *study, snap *search.Snapshot, target int) {
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	// The spec's wall-clock deadline rides the run context end-to-end:
+	// core abandons the in-flight batch when it fires (durable prefix
+	// intact) and dispatch clamps chunk timeouts to the remaining
+	// budget, so a deadlined study stops burning workers too.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if d := st.spec.DeadlineSec; d > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(d*float64(time.Second)))
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
 	st.cancel = cancel
 	s.wg.Add(1)
 	go s.run(ctx, cancel, st, snap, target)
@@ -40,6 +55,7 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, st *study, 
 	s.mu.Unlock()
 	s.persistStatus(st)
 	s.metrics.studiesQueued.Add(1)
+	//fast:allow nondetsource slot-vs-cancel race gates scheduling only; the transcript is parallelism-invariant
 	select {
 	case slot <- struct{}{}:
 		s.metrics.studiesQueued.Add(-1)
@@ -65,7 +81,6 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, st *study, 
 		s.finish(st, hub, nil, err)
 		return
 	}
-	defer st.stored.CloseTranscript() //nolint:errcheck // appends are already fsync'd
 
 	// Multi-objective studies maintain the Pareto archive incrementally
 	// so front events stream as the frontier moves; it is the same fold
@@ -90,6 +105,10 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, st *study, 
 		if s.cfg.batchHook != nil {
 			s.cfg.batchHook(st.tenant, st.id)
 		}
+		// Pace before the append: the throttle delays when this batch
+		// becomes durable, never whether or what — transcripts are
+		// bit-identical at any rate limit.
+		s.throttle(ctx, st.tenant, len(batch))
 		n, err := st.stored.AppendBatch(batch)
 		if err != nil {
 			// A checkpoint that cannot be written voids the durability
@@ -104,6 +123,9 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, st *study, 
 		s.metrics.trialsRate.Mark(int64(len(batch)))
 
 		s.mu.Lock()
+		st.ckptBytes += int64(n)
+		overQuota := s.cfg.MaxCheckpointBytes > 0 && st.ckptBytes > s.cfg.MaxCheckpointBytes
+		ckptBytes := st.ckptBytes
 		st.trialsDone += len(batch)
 		for _, t := range batch {
 			if t.Feasible && (!st.bestFeasible || t.Value > st.bestValue) {
@@ -114,6 +136,19 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, st *study, 
 		s.mu.Unlock()
 		s.persistStatus(st)
 		hub.publish(event{name: "progress", data: sum})
+
+		if overQuota && checkpointErr == nil {
+			// The batch that crossed the line is already durable (the
+			// transcript stays a clean prefix); the study stops here
+			// with a terminal quota error, resumable under a raised
+			// MaxCheckpointBytes.
+			checkpointErr = fault.Terminal("serve.quota", fmt.Errorf(
+				"serve: study %s/%s checkpoint quota exceeded (%d > %d bytes)",
+				st.tenant, st.id, ckptBytes, s.cfg.MaxCheckpointBytes))
+			s.metrics.checkpointQuota.Inc()
+			cancel()
+			return
+		}
 
 		if archive != nil {
 			moved := false
@@ -140,7 +175,24 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, st *study, 
 		opts = append(opts, core.WithDispatch(s.cfg.Dispatch))
 	}
 
-	res, runErr := cs.Run(ctx, opts...)
+	// Quarantine: a panic anywhere in the study drive (optimizer
+	// ask/tell, result assembly — worker-side objective panics are
+	// already converted by core.Runner) fails this study terminally
+	// with its durable prefix intact instead of killing the daemon.
+	res, runErr := func() (res *core.StudyResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fault.FromPanic("serve.study", r)
+			}
+		}()
+		return cs.Run(ctx, opts...)
+	}()
+	if cerr := st.stored.CloseTranscript(); cerr != nil {
+		s.cfg.Logf("level=warn msg=\"transcript close failed\" tenant=%s id=%s err=%q", st.tenant, st.id, cerr)
+		if runErr == nil && checkpointErr == nil {
+			checkpointErr = cerr
+		}
+	}
 	if checkpointErr != nil {
 		runErr = checkpointErr
 	}
@@ -211,9 +263,19 @@ func (s *Server) finish(st *study, hub *eventHub, res *core.StudyResult, runErr 
 			state = store.StateCanceled
 			s.metrics.studiesCanceled.Inc()
 		}
+	case errors.Is(runErr, context.DeadlineExceeded):
+		// The study's wall-clock deadline fired: failed, but
+		// retryable — the durable prefix resumes under a later
+		// deadline.
+		state = store.StateFailed
+		s.metrics.studiesFailed.Inc()
+		s.metrics.deadlineExpired.Inc()
 	default:
 		state = store.StateFailed
 		s.metrics.studiesFailed.Inc()
+		if fault.IsPanic(runErr) {
+			s.metrics.quarantined.Inc()
+		}
 	}
 
 	s.mu.Lock()
@@ -221,6 +283,12 @@ func (s *Server) finish(st *study, hub *eventHub, res *core.StudyResult, runErr 
 	st.state = state
 	if state == store.StateFailed && runErr != nil {
 		st.errMsg = runErr.Error()
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			st.errMsg = "study deadline exceeded; durable prefix retained (resume with a later deadline)"
+			st.errClass = fault.ClassRetryable.String()
+		} else {
+			st.errClass = fault.ClassOf(runErr).String()
+		}
 	}
 	if state == store.StateDone && res != nil {
 		st.result = res

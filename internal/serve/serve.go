@@ -25,12 +25,15 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fast/internal/core"
 	"fast/internal/obsv"
 	"fast/internal/search"
+	"fast/internal/sim"
 	"fast/internal/store"
 )
 
@@ -57,6 +60,30 @@ type Config struct {
 	// (default: core's default, one per CPU).
 	Parallelism int
 
+	// MaxQueuedPerTenant caps studies waiting for a concurrency slot
+	// per tenant (default 8); submissions and resumes beyond it are
+	// shed 429 with a Retry-After hint instead of growing the queue
+	// without bound.
+	MaxQueuedPerTenant int
+	// MaxTrialsPerSec throttles each tenant's checkpointed trial rate
+	// (0 = unthrottled). Pacing only: the throttle delays when a batch
+	// checkpoint lands, never what it contains, so throttled
+	// transcripts are bit-identical to unthrottled ones.
+	MaxTrialsPerSec float64
+	// MaxCheckpointBytes caps one study's transcript size (0 =
+	// unbounded). A study exceeding it fails with a terminal quota
+	// error; its durable prefix stays resumable under a raised limit.
+	MaxCheckpointBytes int64
+	// MemoryLimitBytes arms the memory-pressure watchdog (0 = off):
+	// above the limit the daemon pauses admission (503 + Retry-After)
+	// and halves the plan-cache budget, resuming once usage falls below
+	// 80% of the limit. Running studies are never killed — pressure is
+	// relieved by shedding new load and shrinking caches.
+	MemoryLimitBytes int64
+	// RetryAfter is the back-off hint sent with every shed response
+	// (default 5s), rounded up to whole seconds on the wire.
+	RetryAfter time.Duration
+
 	// Dispatch, when set, routes every study's batch evaluation through
 	// a dispatcher (internal/dispatch's worker pool). Dispatch changes
 	// where evaluations run, never their results, so checkpoints,
@@ -73,6 +100,12 @@ type Config struct {
 	// use it to hold a study mid-run deterministically instead of
 	// racing the clock.
 	batchHook func(tenant, id string)
+	// watchdogEvery is the memory watchdog's sampling period (default
+	// 2s). Test seam.
+	watchdogEvery time.Duration
+	// memUsage reads the daemon's live heap bytes (default
+	// runtime.ReadMemStats HeapAlloc). Test seam.
+	memUsage func() uint64
 }
 
 func (c *Config) withDefaults() Config {
@@ -85,6 +118,22 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxTrialsPerStudy <= 0 {
 		out.MaxTrialsPerStudy = 2000
+	}
+	if out.MaxQueuedPerTenant <= 0 {
+		out.MaxQueuedPerTenant = 8
+	}
+	if out.RetryAfter <= 0 {
+		out.RetryAfter = 5 * time.Second
+	}
+	if out.watchdogEvery <= 0 {
+		out.watchdogEvery = 2 * time.Second
+	}
+	if out.memUsage == nil {
+		out.memUsage = func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		}
 	}
 	if out.Metrics == nil {
 		out.Metrics = obsv.NewRegistry()
@@ -106,11 +155,16 @@ type Server struct {
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
 
-	mu      sync.Mutex
-	closed  bool
-	studies map[string]*study        // key: tenant + "/" + id
-	slots   map[string]chan struct{} // per-tenant concurrency semaphores
-	seq     int                      // id allocator for unnamed studies
+	mu       sync.Mutex
+	closed   bool
+	studies  map[string]*study        // key: tenant + "/" + id
+	slots    map[string]chan struct{} // per-tenant concurrency semaphores
+	limiters map[string]*rateLimiter  // per-tenant trial-rate pacers
+	seq      int                      // id allocator for unnamed studies
+
+	// paused flags admission paused by the memory watchdog: creates and
+	// resumes shed 503 + Retry-After until pressure clears.
+	paused atomic.Bool
 }
 
 // study is the in-memory face of one stored study. state and the
@@ -128,6 +182,8 @@ type study struct {
 	bestValue    float64
 	bestFeasible bool
 	errMsg       string
+	errClass     string // fault class of errMsg ("retryable"/"terminal"/"unknown")
+	ckptBytes    int64  // durable transcript size, for the checkpoint quota
 
 	cancel context.CancelFunc // non-nil while queued or running
 	result *core.StudyResult  // materialized in-process when done
@@ -151,6 +207,7 @@ func New(cfg Config) (*Server, error) {
 		cancelAll: cancel,
 		studies:   map[string]*study{},
 		slots:     map[string]chan struct{}{},
+		limiters:  map[string]*rateLimiter{},
 	}
 	s.metrics = newMetrics(c.Metrics)
 	s.buildMux()
@@ -189,12 +246,17 @@ func New(cfg Config) (*Server, error) {
 			bestValue:    status.BestValue,
 			bestFeasible: status.BestFeasible,
 			errMsg:       status.Error,
+			ckptBytes:    sd.TranscriptSize(),
 			hub:          newEventHub(),
 		}
 		s.studies[st.key()] = st
 	}
 	if err != nil {
 		c.Logf("level=warn msg=\"store recovery skipped broken studies\" err=%q", err)
+	}
+	if c.MemoryLimitBytes > 0 {
+		s.wg.Add(1)
+		go s.watchdog(ctx)
 	}
 	return s, nil
 }
@@ -204,11 +266,14 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.httpRequests.Inc()
+		//fast:allow nondetsource request latency is log metadata, never search state
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		s.mux.ServeHTTP(sw, r)
+		//fast:allow nondetsource request latency is log metadata, never search state
+		dur := time.Since(t0).Round(time.Millisecond)
 		s.cfg.Logf("level=info method=%s path=%s status=%d dur=%s",
-			r.Method, r.URL.Path, sw.code, time.Since(t0).Round(time.Millisecond))
+			r.Method, r.URL.Path, sw.code, dur)
 	})
 }
 
@@ -246,6 +311,7 @@ func (s *Server) Close() {
 	// returns, http.Server.Shutdown has no streams to drain.
 	s.mu.Lock()
 	hubs := make([]*eventHub, 0, len(s.studies))
+	//fast:allow detrange hub close order is irrelevant; closeWith is idempotent per hub
 	for _, st := range s.studies {
 		if st.hub != nil {
 			hubs = append(hubs, st.hub)
@@ -308,6 +374,15 @@ func coreStudy(sp store.Spec, trials int) (*core.Study, error) {
 			return nil, err
 		}
 		cs.Objective = o
+	}
+	if sp.ILPDeadlineSec > 0 {
+		// The exact-ILP deadline comes from the spec, never from the
+		// remaining wall clock: it is algorithmic state (it can change
+		// the final report's fusion solutions), so a resumed study must
+		// solve under the same deadline the original run would have.
+		so := sim.FASTOptions()
+		so.Fusion.Deadline = time.Duration(sp.ILPDeadlineSec * float64(time.Second))
+		cs.SimOptions = &so
 	}
 	return cs, nil
 }

@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"fast/internal/fault"
 	"fast/internal/search"
 )
 
@@ -73,6 +74,17 @@ type Spec struct {
 	BatchSize       int      `json:"batch_size,omitempty"`
 	FrontCap        int      `json:"front_cap,omitempty"`
 	LatencyBoundSec float64  `json:"latency_bound_sec,omitempty"`
+	// DeadlineSec bounds one run's wall-clock time: the serving layer
+	// derives the run context's deadline from it, so a study whose
+	// client stopped caring cannot burn workers forever. Purely a
+	// scheduling bound — it never reaches evaluation semantics, so a
+	// deadlined study resumes bit-identically.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// ILPDeadlineSec overrides the exact-ILP fusion solve deadline used
+	// by the final report's full re-simulations (the CLI's
+	// -ilp-deadline). Part of the spec, not derived from remaining
+	// wall-clock, so every run of the study solves under the same bound.
+	ILPDeadlineSec float64 `json:"ilp_deadline_sec,omitempty"`
 
 	// Created is an RFC 3339 timestamp stamped by the caller (the store
 	// itself never reads the clock).
@@ -115,9 +127,47 @@ const (
 	transcriptFile = "transcript.jsonl"
 )
 
+// FaultOp names one durability-critical filesystem operation the fault
+// seam can observe.
+type FaultOp string
+
+// The operations the seam intercepts, in the order a durable write
+// performs them.
+const (
+	OpWrite  FaultOp = "write"
+	OpSync   FaultOp = "sync"
+	OpClose  FaultOp = "close"
+	OpRename FaultOp = "rename"
+)
+
+// FaultHook intercepts durability-critical filesystem operations before
+// they execute. Returning a non-nil error aborts the operation with
+// that error (it surfaces through the caller classified retryable);
+// sleeping inside the hook injects latency without failing. The hook
+// runs on whatever goroutine performs the write, so a slow hook is a
+// slow disk, exactly as the chaos harness wants.
+type FaultHook func(op FaultOp, path string) error
+
 // Store is a root directory holding studies as <root>/<tenant>/<id>/.
 type Store struct {
 	root string
+	hook FaultHook
+}
+
+// SetFaultHook installs h as the store's filesystem fault seam (nil
+// removes it). Test/chaos instrumentation only: call before handing the
+// store to concurrent users.
+func (st *Store) SetFaultHook(h FaultHook) { st.hook = h }
+
+// fsOp runs the fault hook, if any, for op on path.
+func (st *Store) fsOp(op FaultOp, path string) error {
+	if st == nil || st.hook == nil {
+		return nil
+	}
+	if err := st.hook(op, path); err != nil {
+		return fmt.Errorf("store: injected %s fault on %s: %w", op, filepath.Base(path), err)
+	}
+	return nil
 }
 
 // Open creates the root directory if needed and returns the store.
@@ -176,7 +226,7 @@ func (st *Store) Create(sp Spec) (*Study, error) {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
 	s := &Study{store: st, spec: sp, dir: dir}
-	if err := writeFileAtomic(filepath.Join(dir, specFile), mustJSON(sp)); err != nil {
+	if err := st.writeFileAtomic(filepath.Join(dir, specFile), mustJSON(sp)); err != nil {
 		return nil, err
 	}
 	if err := s.SetStatus(Status{State: StateQueued, TrialsTarget: sp.Trials}); err != nil {
@@ -264,40 +314,61 @@ func mustJSON(v any) []byte {
 // writeFileAtomic durably replaces path with data: write a temp file in
 // the same directory, fsync it, rename over the target, fsync the
 // directory. Readers see the old or the new content, never a torn mix.
-func writeFileAtomic(path string, data []byte) error {
+// Failures are classified retryable — the data is intact on disk, only
+// this replacement did not land.
+func (st *Store) writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return fault.Retryable("store.write", fmt.Errorf("store: %w", err))
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
+	err = st.fsOp(OpWrite, path)
+	if err == nil {
+		_, err = tmp.Write(data)
+	}
+	if err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: write %s: %w", path, err)
+		return fault.Retryable("store.write", fmt.Errorf("store: write %s: %w", path, err))
 	}
-	if err := tmp.Sync(); err != nil {
+	err = st.fsOp(OpSync, path)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: sync %s: %w", path, err)
+		return fault.Retryable("store.sync", fmt.Errorf("store: sync %s: %w", path, err))
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: close %s: %w", path, err)
+	err = st.fsOp(OpClose, path)
+	if err == nil {
+		err = tmp.Close()
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("store: rename %s: %w", path, err)
+	if err != nil {
+		return fault.Retryable("store.close", fmt.Errorf("store: close %s: %w", path, err))
 	}
-	return syncDir(dir)
+	err = st.fsOp(OpRename, path)
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		return fault.Retryable("store.rename", fmt.Errorf("store: rename %s: %w", path, err))
+	}
+	return st.syncDir(dir)
 }
 
 // syncDir fsyncs a directory so a just-renamed or just-created entry
 // survives a crash.
-func syncDir(dir string) error {
+func (st *Store) syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return fault.Retryable("store.sync", fmt.Errorf("store: %w", err))
 	}
 	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	if err := st.fsOp(OpSync, dir); err == nil {
+		err = d.Sync()
+	}
+	if err != nil {
+		return fault.Retryable("store.sync", fmt.Errorf("store: sync dir %s: %w", dir, err))
 	}
 	return nil
 }
@@ -320,6 +391,17 @@ func (s *Study) Spec() Spec { return s.spec }
 // Dir returns the study's directory.
 func (s *Study) Dir() string { return s.dir }
 
+// TranscriptSize reports the durable transcript's current size in
+// bytes (0 when no transcript exists yet). Serve uses it to seed
+// checkpoint-byte quota accounting across restarts.
+func (s *Study) TranscriptSize() int64 {
+	fi, err := os.Stat(filepath.Join(s.dir, transcriptFile))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
 // Status reads the current lifecycle record.
 func (s *Study) Status() (Status, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, statusFile))
@@ -335,7 +417,7 @@ func (s *Study) Status() (Status, error) {
 
 // SetStatus durably replaces the lifecycle record.
 func (s *Study) SetStatus(v Status) error {
-	return writeFileAtomic(filepath.Join(s.dir, statusFile), mustJSON(v))
+	return s.store.writeFileAtomic(filepath.Join(s.dir, statusFile), mustJSON(v))
 }
 
 // transcriptHeader is the first line of transcript.jsonl: the snapshot
@@ -387,11 +469,11 @@ func (s *Study) BeginTranscript(alg search.Algorithm, seed int64, budget int) er
 	}
 	if isNew {
 		hdr := transcriptHeader{Format: transcriptFormat, Version: FormatVersion, Algorithm: alg, Seed: seed, Budget: budget}
-		if err := appendLine(f, mustJSON(hdr)); err != nil {
+		if err := s.appendLine(f, mustJSON(hdr)); err != nil {
 			f.Close()
 			return fmt.Errorf("store: write transcript header %s: %w", s.dir, err)
 		}
-		if err := syncDir(s.dir); err != nil {
+		if err := s.store.syncDir(s.dir); err != nil {
 			f.Close()
 			return err
 		}
@@ -404,35 +486,54 @@ func (s *Study) BeginTranscript(alg search.Algorithm, seed int64, budget int) er
 // line is written and fsync'd before AppendBatch returns, so a batch
 // the caller has seen acknowledged is never lost to a crash. It
 // returns the number of bytes appended (for write-volume metrics).
-// BeginTranscript must have been called.
+// BeginTranscript must have been called. Write and fsync failures come
+// back classified retryable (fault.IsRetryable): the transcript up to
+// the last acknowledged append is still durable, so stopping the study
+// and resuming later is always safe.
 func (s *Study) AppendBatch(batch []search.Trial) (int, error) {
 	if s.transcript == nil {
-		return 0, fmt.Errorf("store: AppendBatch %s before BeginTranscript", s.dir)
+		return 0, fault.Terminal("store.append", fmt.Errorf("store: AppendBatch %s before BeginTranscript", s.dir))
 	}
 	line := mustJSON(transcriptBatch{Trials: batch})
-	if err := appendLine(s.transcript, line); err != nil {
-		return 0, fmt.Errorf("store: append batch %s: %w", s.dir, err)
+	if err := s.appendLine(s.transcript, line); err != nil {
+		return 0, fault.Retryable("store.append", fmt.Errorf("store: append batch %s: %w", s.dir, err))
 	}
 	return len(line) + 1, nil
 }
 
-// appendLine writes data plus newline and fsyncs.
-func appendLine(f *os.File, data []byte) error {
+// appendLine writes data plus newline and fsyncs, with the fault seam
+// interposed before the write and before the fsync.
+func (s *Study) appendLine(f *os.File, data []byte) error {
+	if err := s.store.fsOp(OpWrite, f.Name()); err != nil {
+		return err
+	}
 	if _, err := f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err := s.store.fsOp(OpSync, f.Name()); err != nil {
 		return err
 	}
 	return f.Sync()
 }
 
 // CloseTranscript releases the append handle (idempotent). The data is
-// already durable — every append fsync'd — so Close has no flush role.
+// already durable — every append fsync'd — so Close has no flush role;
+// a close failure is still reported (classified retryable) because a
+// handle the OS refuses to release is an operator signal, not noise.
 func (s *Study) CloseTranscript() error {
 	if s.transcript == nil {
 		return nil
 	}
-	err := s.transcript.Close()
+	f := s.transcript
 	s.transcript = nil
-	return err
+	err := s.store.fsOp(OpClose, f.Name())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fault.Retryable("store.close", fmt.Errorf("store: close transcript %s: %w", s.dir, err))
+	}
+	return nil
 }
 
 // Snapshot loads the durable transcript as a search.Snapshot ready for
@@ -451,7 +552,9 @@ func (s *Study) Snapshot() (snap search.Snapshot, truncated bool, err error) {
 	}
 	hdr, batches, truncated, err := parseTranscript(data)
 	if err != nil {
-		return search.Snapshot{}, false, fmt.Errorf("store: transcript %s: %w", s.dir, err)
+		// Corruption and version skew are terminal: re-reading the same
+		// bytes can never start succeeding.
+		return search.Snapshot{}, false, fault.Terminal("store.snapshot", fmt.Errorf("store: transcript %s: %w", s.dir, err))
 	}
 	snap = search.Snapshot{Algorithm: hdr.Algorithm, Seed: hdr.Seed, Budget: hdr.Budget}
 	for _, b := range batches {

@@ -2,7 +2,7 @@
 # bench.sh — run the perf-trajectory benchmarks and emit BENCH_PR<N>.json.
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR9.json in the repo root
+#   scripts/bench.sh                 # writes BENCH_PR10.json in the repo root
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=10x scripts/bench.sh   # more iterations per benchmark
 #
@@ -18,13 +18,16 @@
 # plus a chaos-faulted run — the "cpus" field makes single-core numbers
 # self-describing), the decoder-inference axis (end-to-end search
 # trials/s on gpt2-decode-1024 and the warm KV-cache-bound
-# Plan.Evaluate), plus the PR 3 baseline for the search benchmark so
-# the trajectory is self-describing. Override PR3_TRIALS_P1/
-# PR3_TRIALS_P4 when re-baselining on different hardware.
+# Plan.Evaluate), the serve governance costs (mean time-to-429 while a
+# low-quota daemon sheds a burst, and the in-quota study's trials/s
+# while that burst is hammering the front door), plus the PR 3 baseline
+# for the search benchmark so the trajectory is self-describing.
+# Override PR3_TRIALS_P1/PR3_TRIALS_P4 when re-baselining on different
+# hardware.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR9.json}
+OUT=${1:-BENCH_PR10.json}
 BENCHTIME=${BENCHTIME:-10x}
 # PR 3 numbers measured on the reference box (single-core Xeon 2.10GHz),
 # see BENCH_PR3.json.
@@ -74,12 +77,82 @@ CPUS=$(nproc 2>/dev/null || echo 1)
 echo "workers scaling (efficientnet-b7 front, $WS_TRIALS trials, $CPUS cpus):"
 echo "  ${WS1} trials/s @1w, ${WS2} @2w, ${WS4} @4w, ${WSF} @2w under chaos"
 
+# Serve governance costs: a deliberately tiny-quota daemon
+# (-max-active 1 -max-queued 1) runs one in-quota study while a
+# submission burst hammers the front door. Two numbers come out: the
+# mean wall time of a shed (time-to-429 — admission control must stay
+# cheap precisely when it is being hit hardest) and the in-quota
+# study's end-to-end trials/s while the burst runs (shedding must not
+# tax the work it protects).
+go build -o "$BIN_DIR/" ./cmd/fast-serve
+GOV_DATA=$(mktemp -d /tmp/fastgov.XXXXXX)
+GOV_TRIALS=${GOV_TRIALS:-64}
+SHED_CURLS=${SHED_CURLS:-50}
+gov_pid=
+for _ in 1 2 3 4 5; do
+	GOV_PORT=$((22000 + RANDOM % 20000))
+	"$BIN_DIR/fast-serve" -addr "127.0.0.1:$GOV_PORT" -data "$GOV_DATA" \
+		-max-active 1 -max-queued 1 -retry-after 1s \
+		>"$GOV_DATA/server.log" 2>&1 &
+	gov_pid=$!
+	for _ in $(seq 1 50); do
+		curl -fsS "http://127.0.0.1:$GOV_PORT/healthz" >/dev/null 2>&1 && break 2
+		kill -0 "$gov_pid" 2>/dev/null || break
+		sleep 0.1
+	done
+	kill "$gov_pid" 2>/dev/null || true
+	wait "$gov_pid" 2>/dev/null || true
+	gov_pid=
+done
+[ -n "$gov_pid" ] || { echo "bench.sh: governance daemon did not come up" >&2; exit 1; }
+GOV_BASE="http://127.0.0.1:$GOV_PORT"
+gov_t0=$(date +%s.%N)
+curl -fsS -X POST "$GOV_BASE/v1/studies" -H 'Content-Type: application/json' \
+	-d "{\"id\": \"gov\", \"workloads\": [\"resnet50\"], \"algorithm\": \"lcs\",
+	     \"trials\": $GOV_TRIALS, \"seed\": 1, \"batch_size\": 8}" >/dev/null
+curl -fsS -X POST "$GOV_BASE/v1/studies" -H 'Content-Type: application/json' \
+	-d '{"id": "gov-fill", "workloads": ["mobilenetv2"], "algorithm": "random",
+	     "trials": 8, "seed": 2, "batch_size": 8}' >/dev/null
+# Queue is now full: every further submission must shed 429. Time them.
+for _ in $(seq 1 "$SHED_CURLS"); do
+	curl -o /dev/null -s -w '%{time_total} %{http_code}\n' \
+		-X POST "$GOV_BASE/v1/studies" -H 'Content-Type: application/json' \
+		-d '{"id": "gov-shed", "workloads": ["mobilenetv2"], "trials": 8}'
+done >"$GOV_DATA/shed.times"
+SHED_MS=$(awk '$2 == 429 { n++; s += $1 } END { if (!n) { exit 1 }; printf "%.3f", s * 1000 / n }' \
+	"$GOV_DATA/shed.times") ||
+	{ echo "bench.sh: burst against a full queue produced no 429s" >&2; exit 1; }
+# Keep the burst running while the in-quota study finishes.
+( while curl -o /dev/null -s -X POST "$GOV_BASE/v1/studies" \
+	-H 'Content-Type: application/json' \
+	-d '{"id": "gov-shed", "workloads": ["mobilenetv2"], "trials": 8}'; do
+	sleep 0.02
+done ) &
+burst_pid=$!
+while :; do
+	state=$(curl -fsS "$GOV_BASE/v1/studies/gov" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+	[ "$state" = done ] && break
+	[ "$state" = failed ] && { echo "bench.sh: governance study failed" >&2; exit 1; }
+	sleep 0.05
+done
+gov_t1=$(date +%s.%N)
+kill "$burst_pid" 2>/dev/null || true
+wait "$burst_pid" 2>/dev/null || true
+kill "$gov_pid" 2>/dev/null || true
+wait "$gov_pid" 2>/dev/null || true
+GOV_TPS=$(awk -v a="$gov_t0" -v b="$gov_t1" -v n="$GOV_TRIALS" \
+	'BEGIN { printf "%.1f", n / (b - a) }')
+rm -rf "$GOV_DATA"
+echo "serve governance: ${SHED_MS}ms mean time-to-429 ($SHED_CURLS sheds), ${GOV_TPS} in-quota trials/s under burst"
+
 echo "$RAW" | awk \
 	-v out="$OUT" -v bt="$BENCHTIME" \
 	-v p1base="$PR3_TRIALS_P1" -v p4base="$PR3_TRIALS_P4" \
 	-v exp1="$EXP_P1" -v exp4="$EXP_P4" \
 	-v ws1="$WS1" -v ws2="$WS2" -v ws4="$WS4" -v wsf="$WSF" \
-	-v wstrials="$WS_TRIALS" -v cpus="$CPUS" '
+	-v wstrials="$WS_TRIALS" -v cpus="$CPUS" \
+	-v shedms="$SHED_MS" -v shedn="$SHED_CURLS" \
+	-v govtps="$GOV_TPS" -v govtrials="$GOV_TRIALS" '
 # Benchmark lines with ReportAllocs look like:
 #   Name  N  <ns> ns/op  [<metric> <unit>]  <B> B/op  <allocs> allocs/op
 function allocs(   i) { for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op") return $i; return "" }
@@ -103,8 +176,12 @@ END {
 		print "bench.sh: missing workers-scaling output" > "/dev/stderr"
 		exit 1
 	}
+	if (shedms == "" || govtps == "") {
+		print "bench.sh: missing serve-governance output" > "/dev/stderr"
+		exit 1
+	}
 	printf "{\n" > out
-	printf "  \"pr\": 9,\n" >> out
+	printf "  \"pr\": 10,\n" >> out
 	printf "  \"benchmark\": \"BenchmarkSearchThroughput (efficientnet-b0, LCS, 64 trials)\",\n" >> out
 	printf "  \"benchtime\": \"%s\",\n", bt >> out
 	printf "  \"cpu\": \"%s\",\n", cpu >> out
@@ -130,6 +207,11 @@ END {
 	printf "    \"efficiency_4w\": %.2f\n", ws4 / ws1 / 4 >> out
 	printf "  },\n" >> out
 	printf "  \"faulted_trials_s\": %s,\n", wsf >> out
+	printf "  \"serve_governance\": {\n" >> out
+	printf "    \"experiment\": \"fast-serve -max-active 1 -max-queued 1: %s-curl shed burst while an in-quota resnet50 LCS study (%s trials) runs\",\n", shedn, govtrials >> out
+	printf "    \"shed_latency_ms_mean\": %s,\n", shedms >> out
+	printf "    \"inquota_trials_per_sec_under_burst\": %s\n", govtps >> out
+	printf "  },\n" >> out
 	printf "  \"decode\": {\n" >> out
 	printf "    \"benchmark\": \"gpt2-decode-1024: BenchmarkDecodeSearchThroughput (LCS, 64 trials) + warm BenchmarkDecodeEvaluate on fast-decode\",\n" >> out
 	printf "    \"search_trials_per_sec\": %s,\n", dctp >> out
